@@ -1,0 +1,49 @@
+// Command dgclbench regenerates the paper's evaluation tables and figures
+// (§7) on the simulated substrate. Run with no flags to reproduce every
+// experiment, or select one with -exp.
+//
+//	dgclbench                 # everything, default 1/64 scale
+//	dgclbench -exp fig7       # just the headline comparison
+//	dgclbench -scale 16       # larger graphs (slower, closer to full size)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dgcl/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table9, fig2..fig11) or 'all'")
+	scale := flag.Int("scale", 64, "divide Table-4 dataset sizes by this factor")
+	seed := flag.Int64("seed", 1, "random seed for graphs, partitioning and planning")
+	layers := flag.Int("layers", 2, "GNN depth")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "text", "output format: text | md")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.All(), "\n"))
+		return
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Layers: *layers}
+	ids := experiments.All()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		r, err := experiments.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dgclbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *format == "md" {
+			fmt.Println(r.Markdown())
+		} else {
+			fmt.Println(r.String())
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command dgcltopo inspects communication fabrics: it renders the GPU
+// connection matrix (nvidia-smi topo -m style), the node/link inventory,
+// and the measured point-to-point bandwidth of every GPU pair on the
+// simulated fabric.
+//
+//	dgcltopo -fabric dgx1
+//	dgcltopo -fabric 2xdgx1 -bandwidth
+//	dgcltopo -spec myfabric.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dgcl/internal/simnet"
+	"dgcl/internal/topology"
+)
+
+func main() {
+	fabric := flag.String("fabric", "dgx1", "dgx1 | dgx2 | 2xdgx1 | pcie8 | eth16")
+	spec := flag.String("spec", "", "path to a topology spec file (overrides -fabric)")
+	bandwidth := flag.Bool("bandwidth", false, "measure pairwise bandwidth on the simulated fabric")
+	flag.Parse()
+
+	topo, err := pick(*fabric, *spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgcltopo:", err)
+		os.Exit(1)
+	}
+	fmt.Println(topo.Summary())
+	fmt.Println()
+	fmt.Print(topo.Matrix())
+	if *bandwidth {
+		if err := measure(topo); err != nil {
+			fmt.Fprintln(os.Stderr, "dgcltopo:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func pick(fabric, spec string) (*topology.Topology, error) {
+	if spec != "" {
+		f, err := os.Open(spec)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topology.ParseSpec(spec, f)
+	}
+	switch fabric {
+	case "dgx1":
+		return topology.DGX1(), nil
+	case "dgx2":
+		return topology.DGX2(), nil
+	case "2xdgx1":
+		return topology.TwoMachineDGX1(), nil
+	case "pcie8":
+		return topology.PCIeOnly8(), nil
+	case "eth16":
+		return topology.TwoMachineEthernet(), nil
+	}
+	return nil, fmt.Errorf("unknown fabric %q", fabric)
+}
+
+func measure(topo *topology.Topology) error {
+	net, err := simnet.New(topo, simnet.Config{Seed: 1, ContentionExponent: 1})
+	if err != nil {
+		return err
+	}
+	n := topo.NumGPUs()
+	fmt.Println("\npairwise bandwidth (GB/s, lone flow):")
+	fmt.Printf("%-6s", "")
+	for j := 0; j < n; j++ {
+		fmt.Printf("%-7s", fmt.Sprintf("GPU%d", j))
+	}
+	fmt.Println()
+	for i := 0; i < n; i++ {
+		fmt.Printf("%-6s", fmt.Sprintf("GPU%d", i))
+		for j := 0; j < n; j++ {
+			if i == j {
+				fmt.Printf("%-7s", "-")
+				continue
+			}
+			bw, err := net.MeasureFlows([][2]int{{i, j}}, 1<<26)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-7.1f", bw[0]/1e9)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,333 @@
+// Package dgcl is a Go reproduction of DGCL, the distributed graph
+// communication library for GNN training (Cai et al., EuroSys 2021). It
+// plans and executes the irregular embedding-passing communication of
+// full-graph distributed GNN training: graphs are partitioned across
+// (simulated) GPUs, a topology-aware SPST planner builds per-vertex
+// multicast trees that exploit fast links, fuse transfers, avoid contention
+// and balance load, and a decentralized runtime executes the plan.
+//
+// The package mirrors the paper's API (Listing 1):
+//
+//	sys := dgcl.Init(dgcl.DGX1(), dgcl.Options{})
+//	sys.BuildCommInfo(g, featureDim)          // partition + plan
+//	local := sys.DispatchFeatures(features)   // scatter to GPUs
+//	full, _ := sys.GraphAllgather(local)      // remote embeddings in
+//
+// Hardware is simulated (see DESIGN.md): package simnet provides virtual
+// time over Table-1 link speeds, and the runtime moves real float32 data
+// between goroutine "GPUs", so results are verifiable against single-device
+// training.
+package dgcl
+
+import (
+	"fmt"
+
+	"dgcl/internal/baselines"
+	"dgcl/internal/comm"
+	"dgcl/internal/core"
+	"dgcl/internal/gnn"
+	"dgcl/internal/graph"
+	"dgcl/internal/partition"
+	"dgcl/internal/runtime"
+	"dgcl/internal/simnet"
+	"dgcl/internal/tensor"
+	"dgcl/internal/topology"
+)
+
+// Re-exported core types so applications only import dgcl.
+type (
+	// Graph is a CSR data graph (see NewGraphFromEdges and the dataset
+	// generators).
+	Graph = graph.Graph
+	// Edge is a directed graph edge.
+	Edge = graph.Edge
+	// Dataset describes one of the paper's evaluation graphs.
+	Dataset = graph.Dataset
+	// Matrix is a dense float32 matrix of vertex embeddings.
+	Matrix = tensor.Matrix
+	// Topology describes a GPU fabric.
+	Topology = topology.Topology
+	// Plan is a staged communication schedule.
+	Plan = core.Plan
+	// Model is a stack of GNN layers.
+	Model = gnn.Model
+	// ModelKind selects GCN, CommNet or GIN.
+	ModelKind = gnn.ModelKind
+	// Trainer runs distributed training on an initialized System.
+	Trainer = runtime.Trainer
+	// LocalGraph is the re-indexed per-GPU graph.
+	LocalGraph = comm.LocalGraph
+	// Relation is the communication relation (who needs which vertices).
+	Relation = comm.Relation
+)
+
+// The paper's datasets (Table 4) and models (§7).
+var (
+	Reddit    = graph.Reddit
+	ComOrkut  = graph.ComOrkut
+	WebGoogle = graph.WebGoogle
+	WikiTalk  = graph.WikiTalk
+)
+
+// Model kinds: the paper's three evaluated models plus GraphSAGE (max-pool
+// aggregator) as an extension.
+const (
+	GCN       = gnn.GCN
+	CommNet   = gnn.CommNet
+	GIN       = gnn.GIN
+	GraphSAGE = gnn.GraphSAGE
+	GAT       = gnn.GAT
+)
+
+// Topology builders for the paper's hardware configurations.
+var (
+	// DGX1 is the 8-GPU NVLink server of Figure 3.
+	DGX1 = topology.DGX1
+	// TwoMachineDGX1 is the default 16-GPU two-server configuration.
+	TwoMachineDGX1 = topology.TwoMachineDGX1
+	// PCIeOnly8 is the NVLink-less 8-GPU second configuration.
+	PCIeOnly8 = topology.PCIeOnly8
+	// DGX2 is a 16-GPU NVSwitch fabric (flat full-bandwidth NVLink).
+	DGX2 = topology.DGX2
+	// TopologyForGPUCount picks the standard configuration for 1..8 or 16
+	// GPUs.
+	TopologyForGPUCount = topology.ForGPUCount
+	// ParseTopology builds a custom fabric from the text spec format
+	// documented in internal/topology/spec.go.
+	ParseTopology = topology.ParseSpec
+)
+
+// NewGraphFromEdges builds a graph with n vertices from an edge list.
+func NewGraphFromEdges(n int, edges []Edge, dedup bool) (*Graph, error) {
+	return graph.FromEdges(n, edges, dedup)
+}
+
+// NewModel builds a GNN model (2 layers is the paper's default).
+func NewModel(kind ModelKind, inDim, hiddenDim, numLayers int, seed int64) *Model {
+	return gnn.NewModel(kind, inDim, hiddenDim, numLayers, seed)
+}
+
+// NewMatrix allocates a rows×cols embedding matrix.
+func NewMatrix(rows, cols int) *Matrix { return tensor.New(rows, cols) }
+
+// RandomFeatures generates deterministic random vertex features, as the
+// paper does for graphs without native features.
+func RandomFeatures(vertices, dim int, seed int64) *Matrix {
+	return tensor.New(vertices, dim).FillRandom(seed)
+}
+
+// Planner selects the communication planning algorithm.
+type Planner string
+
+// Available planners: SPST is the paper's contribution, the others are the
+// §7 baselines and DESIGN.md ablations.
+const (
+	PlannerSPST          Planner = "spst"
+	PlannerP2P           Planner = "p2p"
+	PlannerSPSTNoForward Planner = "spst-noforward"
+	PlannerSteiner       Planner = "steiner"
+)
+
+// Options configures Init.
+type Options struct {
+	// Planner defaults to PlannerSPST.
+	Planner Planner
+	// Seed drives partitioning and planning; runs are reproducible.
+	Seed int64
+	// ChunkSize is the SPST vertex-chunking granularity (default 16; 1 =
+	// exact per-vertex planning).
+	ChunkSize int
+	// AtomicBackward disables the §6.2 non-atomic sub-stage schedule.
+	AtomicBackward bool
+	// CacheFeatures enables the §3 strategy (1): remote layer-0 features are
+	// allgathered once and cached across epochs, trading memory for the
+	// elimination of the widest allgather of every epoch.
+	CacheFeatures bool
+}
+
+// System is an initialized DGCL instance bound to a topology, matching the
+// DGCL master + clients of Figure 5.
+type System struct {
+	topo *Topology
+	opts Options
+
+	g      *Graph
+	part   *partition.Partition
+	rel    *Relation
+	locals []*LocalGraph
+	plan   *Plan
+	cost   float64
+	clu    *runtime.Cluster
+}
+
+// Init initializes the distributed communication environment for the given
+// fabric.
+func Init(topo *Topology, opts Options) *System {
+	if opts.Planner == "" {
+		opts.Planner = PlannerSPST
+	}
+	return &System{topo: topo, opts: opts}
+}
+
+// NumGPUs returns the number of workers.
+func (s *System) NumGPUs() int { return s.topo.NumGPUs() }
+
+// BuildCommInfo partitions the graph onto the GPUs (hierarchically when the
+// topology spans machines), builds the communication relation and runs the
+// communication planner. featureDim is the embedding width used to weight
+// the plan; by the §5.1 invariance property the same plan is optimal for
+// every layer width.
+func (s *System) BuildCommInfo(g *Graph, featureDim int) error {
+	if featureDim < 1 {
+		return fmt.Errorf("dgcl: featureDim must be >= 1, got %d", featureDim)
+	}
+	k := s.topo.NumGPUs()
+	var p *partition.Partition
+	var err error
+	if s.topo.NumMachines() > 1 {
+		per := make([]int, s.topo.NumMachines())
+		for d := 0; d < k; d++ {
+			per[s.topo.GPUMachine(d)]++
+		}
+		p, err = partition.Hierarchical(g, per, partition.Options{Seed: s.opts.Seed})
+	} else {
+		p, err = partition.KWay(g, k, partition.Options{Seed: s.opts.Seed})
+	}
+	if err != nil {
+		return err
+	}
+	rel, err := comm.Build(g, p)
+	if err != nil {
+		return err
+	}
+	bytesPerVertex := int64(featureDim) * 4
+	var plan *Plan
+	switch s.opts.Planner {
+	case PlannerSPST, PlannerSPSTNoForward:
+		spstOpts := core.SPSTOptions{Seed: s.opts.Seed, ChunkSize: s.opts.ChunkSize,
+			DisableForwarding: s.opts.Planner == PlannerSPSTNoForward}
+		var state *core.State
+		plan, state, err = core.PlanSPST(rel, s.topo, bytesPerVertex, spstOpts)
+		if err != nil {
+			return err
+		}
+		s.cost = state.Cost()
+	case PlannerP2P:
+		plan = baselines.PlanP2P(rel, bytesPerVertex)
+		m, merr := core.NewModel(s.topo)
+		if merr != nil {
+			return merr
+		}
+		s.cost = core.CostOfPlan(m, plan)
+	case PlannerSteiner:
+		plan, err = baselines.PlanSteiner(rel, s.topo, bytesPerVertex)
+		if err != nil {
+			return err
+		}
+		m, merr := core.NewModel(s.topo)
+		if merr != nil {
+			return merr
+		}
+		s.cost = core.CostOfPlan(m, plan)
+	default:
+		return fmt.Errorf("dgcl: unknown planner %q", s.opts.Planner)
+	}
+	locals := comm.BuildLocalGraphs(g, rel)
+	clu, err := runtime.NewCluster(rel, locals, plan)
+	if err != nil {
+		return err
+	}
+	clu.NonAtomic = !s.opts.AtomicBackward
+	s.g, s.part, s.rel, s.locals, s.plan, s.clu = g, p, rel, locals, plan, clu
+	return nil
+}
+
+func (s *System) ready() error {
+	if s.clu == nil {
+		return fmt.Errorf("dgcl: call BuildCommInfo first")
+	}
+	return nil
+}
+
+// DispatchFeatures scatters global vertex features to the GPUs' partitions.
+func (s *System) DispatchFeatures(features *Matrix) ([]*Matrix, error) {
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	if features.Rows != s.g.NumVertices() {
+		return nil, fmt.Errorf("dgcl: features have %d rows, graph has %d vertices", features.Rows, s.g.NumVertices())
+	}
+	out := make([]*Matrix, s.rel.K)
+	for d := 0; d < s.rel.K; d++ {
+		out[d] = tensor.GatherRows(features, s.rel.Local[d])
+	}
+	return out, nil
+}
+
+// GraphAllgather fetches remote vertex embeddings for every GPU: local[d]
+// holds GPU d's owned rows; the result holds local+remote rows in local
+// graph order, ready for a single-GPU GNN layer. It blocks until all clients
+// finish, as in the paper (graphAllgather is synchronous).
+func (s *System) GraphAllgather(local []*Matrix) ([]*Matrix, error) {
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	return s.clu.Allgather(local)
+}
+
+// GraphAllgatherBackward routes gradients for remote vertices back to their
+// owners along the plan's trees in reverse, returning accumulated gradients
+// for each GPU's owned rows.
+func (s *System) GraphAllgatherBackward(gradFull []*Matrix) ([]*Matrix, error) {
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	return s.clu.BackwardAllgather(gradFull)
+}
+
+// NewTrainer builds a distributed trainer for the model with the global
+// features and regression targets.
+func (s *System) NewTrainer(model *Model, features, targets *Matrix) (*Trainer, error) {
+	if err := s.ready(); err != nil {
+		return nil, err
+	}
+	tr, err := runtime.NewTrainer(s.clu, model, features, targets)
+	if err != nil {
+		return nil, err
+	}
+	tr.CacheFeatures = s.opts.CacheFeatures
+	return tr, nil
+}
+
+// Plan returns the active communication plan.
+func (s *System) Plan() *Plan { return s.plan }
+
+// Relation returns the communication relation.
+func (s *System) Relation() *Relation { return s.rel }
+
+// LocalGraph returns GPU d's re-indexed graph.
+func (s *System) LocalGraph(d int) *LocalGraph { return s.locals[d] }
+
+// PartitionAssignment returns the vertex -> GPU assignment.
+func (s *System) PartitionAssignment() []int32 { return s.part.Assign }
+
+// PlannedCost returns the §5.1 modeled communication time of the plan in
+// seconds.
+func (s *System) PlannedCost() float64 { return s.cost }
+
+// SimulateAllgatherTime runs the virtual-time network simulator over the
+// plan and returns the simulated wall time of one forward graphAllgather.
+func (s *System) SimulateAllgatherTime(seed int64) (float64, error) {
+	if err := s.ready(); err != nil {
+		return 0, err
+	}
+	net, err := simnet.New(s.topo, simnet.DefaultConfig(seed))
+	if err != nil {
+		return 0, err
+	}
+	res, err := net.RunPlan(s.plan)
+	if err != nil {
+		return 0, err
+	}
+	return res.Time, nil
+}

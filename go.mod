@@ -1,0 +1,3 @@
+module dgcl
+
+go 1.22

@@ -1,0 +1,260 @@
+package baselines
+
+import (
+	"testing"
+
+	"dgcl/internal/comm"
+	"dgcl/internal/core"
+	"dgcl/internal/graph"
+	"dgcl/internal/partition"
+	"dgcl/internal/topology"
+)
+
+func mkRelation(t testing.TB, g *graph.Graph, k int, seed int64) (*comm.Relation, *partition.Partition) {
+	t.Helper()
+	p, err := partition.KWay(g, k, partition.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := comm.Build(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel, p
+}
+
+func TestPlanP2PValid(t *testing.T) {
+	g := graph.CommunityGraph(600, 16, 6, 0.8, 1)
+	rel, _ := mkRelation(t, g, 8, 1)
+	p := PlanP2P(rel, 1024)
+	if err := p.Validate(rel); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStages() != 1 {
+		t.Fatalf("p2p must be single stage, got %d", p.NumStages())
+	}
+	if p.Algorithm != "p2p" {
+		t.Fatalf("algorithm=%q", p.Algorithm)
+	}
+}
+
+func TestPlanP2PEmptyRelation(t *testing.T) {
+	g := graph.Ring(8)
+	p := partition.Range(g, 1)
+	rel, err := comm.Build(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlanP2P(rel, 64)
+	if plan.NumStages() != 0 {
+		t.Fatal("single-GPU relation needs no transfers")
+	}
+}
+
+func TestSwapPlanVolumes(t *testing.T) {
+	g := graph.Ring(8)
+	p := partition.Range(g, 4)
+	rel, _ := comm.Build(g, p)
+	topo := topology.SubDGX1(4)
+	sp, err := PlanSwap(rel, topo, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each GPU owns 2 vertices and needs 2 remote vertices.
+	for d := 0; d < 4; d++ {
+		if sp.WriteBytes[d] != 200 {
+			t.Fatalf("write[%d]=%d want 200", d, sp.WriteBytes[d])
+		}
+		if sp.ReadBytes[d] != 200 {
+			t.Fatalf("read[%d]=%d want 200", d, sp.ReadBytes[d])
+		}
+	}
+	cost, err := SwapCost(sp, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatal("swap cost must be positive")
+	}
+}
+
+func TestSwapDumpsAllLocalsNotJustNeeded(t *testing.T) {
+	// The defining inefficiency of swap (§7: "it needs to swap all vertex
+	// embeddings to main memory"): write volume is the full local set even
+	// when almost nothing is needed remotely.
+	g := graph.Grid2D(20, 20) // low cut
+	rel, _ := mkRelation(t, g, 4, 2)
+	topo := topology.SubDGX1(4)
+	sp, _ := PlanSwap(rel, topo, 100)
+	var writes, reads int64
+	for d := 0; d < 4; d++ {
+		writes += sp.WriteBytes[d]
+		reads += sp.ReadBytes[d]
+	}
+	if writes != int64(g.NumVertices())*100 {
+		t.Fatalf("writes=%d want all %d vertices", writes, g.NumVertices())
+	}
+	if reads >= writes {
+		t.Fatalf("on a low-cut graph reads (%d) should be far below writes (%d)", reads, writes)
+	}
+}
+
+func TestSwapWorseThanSPSTOnSparseGraphs(t *testing.T) {
+	// Figure 7: swap has the worst communication time on sparse graphs.
+	g := graph.WebGoogle.Generate(512, 3)
+	rel, _ := mkRelation(t, g, 8, 3)
+	topo := topology.DGX1()
+	sp, err := PlanSwap(rel, topo, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapCost, err := SwapCost(sp, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, state, err := core.PlanSPST(rel, topo, 1024, core.SPSTOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapCost <= state.Cost() {
+		t.Fatalf("swap %v should be slower than SPST %v on sparse graphs", swapCost, state.Cost())
+	}
+}
+
+func TestSwapCrossMachine(t *testing.T) {
+	g := graph.CommunityGraph(800, 10, 4, 0.8, 4)
+	p, err := partition.Hierarchical(g, []int{8, 8}, partition.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := comm.Build(g, p)
+	topo := topology.TwoMachineDGX1()
+	sp, err := PlanSwap(rel, topo, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cross int64
+	for _, b := range sp.CrossBytes {
+		cross += b
+	}
+	if cross == 0 {
+		t.Fatal("two-machine swap must ship bytes across machines")
+	}
+}
+
+func TestReplicationFactorGrowsWithHopsAndGPUs(t *testing.T) {
+	// Figure 4: replication factor increases with both GPU count and layer
+	// count.
+	g := graph.WebGoogle.Generate(512, 5)
+	var prevHop float64
+	for hops := 1; hops <= 3; hops++ {
+		p, err := partition.KWay(g, 8, partition.Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri := Replication(g, p, hops)
+		if ri.Factor < prevHop {
+			t.Fatalf("replication factor decreased with hops: %v after %v", ri.Factor, prevHop)
+		}
+		prevHop = ri.Factor
+		if ri.Factor < 1 {
+			t.Fatalf("factor %v below 1", ri.Factor)
+		}
+	}
+	var prevGPU float64
+	for _, k := range []int{2, 4, 8} {
+		p, _ := partition.KWay(g, k, partition.Options{Seed: 5})
+		ri := Replication(g, p, 2)
+		if ri.Factor+0.05 < prevGPU {
+			t.Fatalf("replication factor decreased with GPUs: %v after %v", ri.Factor, prevGPU)
+		}
+		prevGPU = ri.Factor
+	}
+}
+
+func TestReplicationDenseGraphCoversEverything(t *testing.T) {
+	// Reddit-like graphs: 2-hop neighborhoods cover nearly the whole graph,
+	// so the factor approaches the GPU count.
+	g := graph.Reddit.Generate(512, 6)
+	p, _ := partition.KWay(g, 8, partition.Options{Seed: 6})
+	ri := Replication(g, p, 2)
+	if ri.Factor < 4 {
+		t.Fatalf("dense-graph 2-hop replication factor %v should approach 8", ri.Factor)
+	}
+}
+
+func TestReplicationMemoryCheck(t *testing.T) {
+	g := graph.Ring(64)
+	p, _ := partition.KWay(g, 4, partition.Options{Seed: 7})
+	ri := Replication(g, p, 1)
+	if !ri.FitsMemory(1<<30, 1024) {
+		t.Fatal("tiny graph must fit 1GB")
+	}
+	if ri.FitsMemory(100, 1024) {
+		t.Fatal("must not fit 100 bytes")
+	}
+	if ri.ComputeBlowup() != ri.Factor {
+		t.Fatal("blowup should equal factor")
+	}
+}
+
+func TestSwapKMismatch(t *testing.T) {
+	g := graph.Ring(16)
+	rel, _ := mkRelation(t, g, 4, 8)
+	if _, err := PlanSwap(rel, topology.DGX1(), 64); err == nil {
+		t.Fatal("expected K mismatch error")
+	}
+}
+
+func TestPlanSteinerValidAndStaged(t *testing.T) {
+	g := graph.CommunityGraph(800, 16, 6, 0.8, 21)
+	rel, _ := mkRelation(t, g, 8, 21)
+	plan, err := PlanSteiner(rel, topology.DGX1(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(rel); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm != "steiner" {
+		t.Fatalf("algorithm %q", plan.Algorithm)
+	}
+}
+
+func TestSteinerIgnoresContention(t *testing.T) {
+	// The §5.2 argument: static-cost Steiner trees pile load onto the
+	// statically-fastest links because they cannot see contention or stage
+	// maxima; SPST's load-aware incremental costs must beat (or match) them
+	// under the paper's cost model on a contended workload.
+	g := graph.Reddit.Generate(512, 22)
+	rel, _ := mkRelation(t, g, 8, 22)
+	topo := topology.DGX1()
+	m, err := core.NewModel(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steiner, err := PlanSteiner(rel, topo, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := steiner.Validate(rel); err != nil {
+		t.Fatal(err)
+	}
+	_, spstState, err := core.PlanSPST(rel, topo, 2048, core.SPSTOptions{Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steinerCost := core.CostOfPlan(m, steiner)
+	if spstState.Cost() > steinerCost*1.02 {
+		t.Fatalf("SPST %v should not lose to static Steiner %v", spstState.Cost(), steinerCost)
+	}
+	t.Logf("SPST %.4g vs Steiner %.4g (%.2fx)", spstState.Cost(), steinerCost, steinerCost/spstState.Cost())
+}
+
+func TestSteinerKMismatch(t *testing.T) {
+	g := graph.Ring(16)
+	rel, _ := mkRelation(t, g, 4, 23)
+	if _, err := PlanSteiner(rel, topology.DGX1(), 64); err == nil {
+		t.Fatal("expected K mismatch error")
+	}
+}

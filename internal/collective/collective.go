@@ -1,0 +1,150 @@
+// Package collective implements the regular collective operations (ring
+// allreduce, ring allgather, tree broadcast) that libraries like NCCL
+// provide for data-parallel DNN training. The paper's §3 argues these do
+// not fit GNN embedding passing — every GPU needs a *different* subset of
+// vertices, while collectives assume uniform all-to-all data — and §8.2
+// contrasts DGCL with them directly. This package makes that comparison
+// concrete: it supplies (a) executable collectives used for model-gradient
+// synchronization in the trainer, and (b) cost models over the same fabric
+// abstraction, so experiments can quantify how much a regular allgather
+// overshoots DGCL's planned exchange.
+package collective
+
+import (
+	"fmt"
+
+	"dgcl/internal/tensor"
+	"dgcl/internal/topology"
+)
+
+// RingAllreduce sums the same-shaped matrices of all workers and leaves the
+// sum in every worker's matrix, using the bandwidth-optimal two-phase ring
+// (reduce-scatter + allgather), executed faithfully chunk by chunk so tests
+// can verify the data movement pattern, not just the result.
+func RingAllreduce(bufs []*tensor.Matrix) error {
+	k := len(bufs)
+	if k == 0 {
+		return fmt.Errorf("collective: no workers")
+	}
+	n := len(bufs[0].Data)
+	for i, b := range bufs {
+		if len(b.Data) != n {
+			return fmt.Errorf("collective: worker %d has %d elements, worker 0 has %d", i, len(b.Data), n)
+		}
+	}
+	if k == 1 {
+		return nil
+	}
+	// Chunk c of worker w: [start(c), start(c+1)).
+	start := func(c int) int { return c * n / k }
+	// Phase 1: reduce-scatter. In step s, worker w sends chunk (w-s) to
+	// worker w+1, which accumulates. After k-1 steps, worker w holds the
+	// full sum of chunk (w+1).
+	for s := 0; s < k-1; s++ {
+		// Simultaneous ring step: compute all sends from a snapshot to model
+		// the synchronous ring (avoids order dependence).
+		type msg struct {
+			dst, chunk int
+			data       []float32
+		}
+		msgs := make([]msg, 0, k)
+		for w := 0; w < k; w++ {
+			c := ((w-s)%k + k) % k
+			lo, hi := start(c), start(c+1)
+			data := make([]float32, hi-lo)
+			copy(data, bufs[w].Data[lo:hi])
+			msgs = append(msgs, msg{dst: (w + 1) % k, chunk: c, data: data})
+		}
+		for _, m := range msgs {
+			lo := start(m.chunk)
+			for i, v := range m.data {
+				bufs[m.dst].Data[lo+i] += v
+			}
+		}
+	}
+	// Phase 2: allgather. Worker w owns the reduced chunk (w+1); circulate.
+	for s := 0; s < k-1; s++ {
+		type msg struct {
+			dst, chunk int
+			data       []float32
+		}
+		msgs := make([]msg, 0, k)
+		for w := 0; w < k; w++ {
+			c := ((w+1-s)%k + k) % k
+			lo, hi := start(c), start(c+1)
+			data := make([]float32, hi-lo)
+			copy(data, bufs[w].Data[lo:hi])
+			msgs = append(msgs, msg{dst: (w + 1) % k, chunk: c, data: data})
+		}
+		for _, m := range msgs {
+			lo := start(m.chunk)
+			copy(bufs[m.dst].Data[lo:lo+len(m.data)], m.data)
+		}
+	}
+	return nil
+}
+
+// RingAllgather concatenates every worker's rows into each worker's output:
+// out[w] = vstack(in[0] ... in[k-1]). Inputs may have different row counts
+// (rank sizes); columns must agree.
+func RingAllgather(in []*tensor.Matrix) ([]*tensor.Matrix, error) {
+	k := len(in)
+	if k == 0 {
+		return nil, fmt.Errorf("collective: no workers")
+	}
+	cols := in[0].Cols
+	total := 0
+	for i, b := range in {
+		if b.Cols != cols {
+			return nil, fmt.Errorf("collective: worker %d has %d cols, worker 0 has %d", i, b.Cols, cols)
+		}
+		total += b.Rows
+	}
+	out := make([]*tensor.Matrix, k)
+	for w := 0; w < k; w++ {
+		out[w] = tensor.New(total, cols)
+		row := 0
+		for r := 0; r < k; r++ {
+			copy(out[w].Data[row*cols:], in[r].Data)
+			row += in[r].Rows
+		}
+	}
+	return out, nil
+}
+
+// RingAllreduceTime models the wall time of a bandwidth-optimal ring
+// allreduce of `bytes` per worker over the fabric: 2(k-1)/k × bytes over the
+// slowest link of the ring formed by GPU order 0..k-1.
+func RingAllreduceTime(topo *topology.Topology, bytes int64) (float64, error) {
+	k := topo.NumGPUs()
+	if k < 2 {
+		return 0, nil
+	}
+	slowest := 1e30
+	for w := 0; w < k; w++ {
+		ch, err := topo.GPUChannel(w, (w+1)%k)
+		if err != nil {
+			return 0, err
+		}
+		if bw := ch.Bottleneck(topo); bw < slowest {
+			slowest = bw
+		}
+	}
+	chunk := float64(bytes) / float64(k)
+	steps := float64(2 * (k - 1))
+	return steps * chunk / slowest, nil
+}
+
+// FullAllgatherBytes returns the bytes a regular (NCCL-style) allgather
+// moves to satisfy GNN embedding passing: every GPU must receive every
+// other GPU's full partition, because the collective cannot subset. Compare
+// with a plan's TotalBytes to quantify the overshoot the paper's §3
+// describes.
+func FullAllgatherBytes(partSizes []int, bytesPerVertex int64) int64 {
+	k := len(partSizes)
+	var total int64
+	for _, sz := range partSizes {
+		total += int64(sz) * bytesPerVertex * int64(k-1)
+	}
+	return total
+}

@@ -1,0 +1,143 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dgcl/internal/tensor"
+	"dgcl/internal/topology"
+)
+
+func TestRingAllreduceSums(t *testing.T) {
+	k, n := 4, 10
+	bufs := make([]*tensor.Matrix, k)
+	want := make([]float64, n)
+	for w := 0; w < k; w++ {
+		bufs[w] = tensor.New(1, n).FillRandom(int64(w))
+		for i, v := range bufs[w].Data {
+			want[i] += float64(v)
+		}
+	}
+	if err := RingAllreduce(bufs); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < k; w++ {
+		for i := range want {
+			if math.Abs(float64(bufs[w].Data[i])-want[i]) > 1e-4 {
+				t.Fatalf("worker %d elem %d: %v want %v", w, i, bufs[w].Data[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRingAllreduceEdgeCases(t *testing.T) {
+	if err := RingAllreduce(nil); err == nil {
+		t.Fatal("empty worker set must fail")
+	}
+	one := []*tensor.Matrix{tensor.New(1, 3).FillRandom(1)}
+	orig := one[0].Clone()
+	if err := RingAllreduce(one); err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(one[0], orig) != 0 {
+		t.Fatal("single worker must be identity")
+	}
+	bad := []*tensor.Matrix{tensor.New(1, 3), tensor.New(1, 4)}
+	if err := RingAllreduce(bad); err == nil {
+		t.Fatal("shape mismatch must fail")
+	}
+}
+
+// Property: allreduce result equals the naive sum for random worker counts
+// and sizes, including sizes not divisible by k.
+func TestPropertyRingAllreduce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(7)
+		n := 1 + rng.Intn(40)
+		bufs := make([]*tensor.Matrix, k)
+		want := make([]float64, n)
+		for w := 0; w < k; w++ {
+			bufs[w] = tensor.New(1, n).FillRandom(seed + int64(w))
+			for i, v := range bufs[w].Data {
+				want[i] += float64(v)
+			}
+		}
+		if err := RingAllreduce(bufs); err != nil {
+			return false
+		}
+		for w := 0; w < k; w++ {
+			for i := range want {
+				if math.Abs(float64(bufs[w].Data[i])-want[i]) > 1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingAllgather(t *testing.T) {
+	in := []*tensor.Matrix{
+		tensor.FromData(2, 2, []float32{1, 2, 3, 4}),
+		tensor.FromData(1, 2, []float32{5, 6}),
+		tensor.FromData(2, 2, []float32{7, 8, 9, 10}),
+	}
+	out, err := RingAllgather(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		if out[w].Rows != 5 {
+			t.Fatalf("worker %d rows %d", w, out[w].Rows)
+		}
+		if out[w].At(0, 0) != 1 || out[w].At(2, 0) != 5 || out[w].At(4, 1) != 10 {
+			t.Fatalf("worker %d content %v", w, out[w].Data)
+		}
+	}
+	if _, err := RingAllgather(nil); err == nil {
+		t.Fatal("empty must fail")
+	}
+	if _, err := RingAllgather([]*tensor.Matrix{tensor.New(1, 2), tensor.New(1, 3)}); err == nil {
+		t.Fatal("column mismatch must fail")
+	}
+}
+
+func TestRingAllreduceTimeModel(t *testing.T) {
+	topo := topology.DGX1()
+	tm, err := RingAllreduceTime(topo, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm <= 0 {
+		t.Fatal("time must be positive")
+	}
+	// Doubling bytes doubles time.
+	tm2, _ := RingAllreduceTime(topo, 1<<21)
+	if math.Abs(tm2-2*tm)/tm > 1e-9 {
+		t.Fatalf("not linear: %v vs %v", tm, tm2)
+	}
+	// A two-machine ring crossing IB is slower than the single machine.
+	tm16, _ := RingAllreduceTime(topology.TwoMachineDGX1(), 1<<20)
+	if tm16 <= tm {
+		t.Fatalf("16-GPU IB ring %v should be slower than DGX-1 ring %v", tm16, tm)
+	}
+	// Single GPU: free.
+	if tm1, _ := RingAllreduceTime(topology.SubDGX1(1), 1<<20); tm1 != 0 {
+		t.Fatal("single GPU allreduce should be free")
+	}
+}
+
+func TestFullAllgatherBytesOvershoot(t *testing.T) {
+	// 4 parts of 100 vertices each at 4 bytes: collective allgather moves
+	// 4*100*4*3 bytes.
+	got := FullAllgatherBytes([]int{100, 100, 100, 100}, 4)
+	if got != 4800 {
+		t.Fatalf("got %d", got)
+	}
+}

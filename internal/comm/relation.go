@@ -1,0 +1,281 @@
+// Package comm derives the communication relation of distributed GNN
+// training from a graph partitioning: which vertex embeddings every GPU must
+// send to every other GPU for one layer (the (di, dj, Vij) tuples of §4.1),
+// the per-GPU local/remote vertex sets, and the re-indexed local graphs that
+// let an unmodified single-GPU GNN system run on each partition.
+package comm
+
+import (
+	"fmt"
+	"sort"
+
+	"dgcl/internal/graph"
+	"dgcl/internal/partition"
+)
+
+// Relation captures who needs which embeddings. For a GPU d, Local[d] lists
+// its owned vertices V_l_d, Remote[d] the vertices of other partitions whose
+// embeddings d needs (direct in-neighbors of local vertices), and
+// Send[i][j] = Vij, the vertices GPU i must send to GPU j. All lists are
+// sorted by global vertex id.
+type Relation struct {
+	K      int
+	Owner  []int32     // global vertex -> owning GPU
+	Local  [][]int32   // gpu -> owned vertices
+	Remote [][]int32   // gpu -> remote vertices required
+	Send   [][][]int32 // [src][dst] -> vertices src sends dst (nil on diagonal)
+}
+
+// Build computes the communication relation for graph g under partition p.
+// An edge (u,v) means v's embedding is an input to u, so if owner(u) != owner(v)
+// then owner(v) must send v to owner(u).
+func Build(g *graph.Graph, p *partition.Partition) (*Relation, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	k := p.K
+	r := &Relation{
+		K:      k,
+		Owner:  p.Assign,
+		Local:  make([][]int32, k),
+		Remote: make([][]int32, k),
+		Send:   make([][][]int32, k),
+	}
+	for i := range r.Send {
+		r.Send[i] = make([][]int32, k)
+	}
+	for v, owner := range p.Assign {
+		r.Local[owner] = append(r.Local[owner], int32(v))
+	}
+	// Collect remote requirements with a dedup set per GPU.
+	needed := make([]map[int32]bool, k)
+	for d := range needed {
+		needed[d] = make(map[int32]bool)
+	}
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		du := p.Assign[u]
+		for _, v := range g.Neighbors(int32(u)) {
+			if dv := p.Assign[v]; dv != du {
+				needed[du][v] = true
+			}
+		}
+	}
+	for d := 0; d < k; d++ {
+		rem := make([]int32, 0, len(needed[d]))
+		for v := range needed[d] {
+			rem = append(rem, v)
+		}
+		sort.Slice(rem, func(i, j int) bool { return rem[i] < rem[j] })
+		r.Remote[d] = rem
+		for _, v := range rem {
+			src := p.Assign[v]
+			r.Send[src][d] = append(r.Send[src][d], v)
+		}
+	}
+	return r, nil
+}
+
+// Task is one multicast obligation: vertex Vertex, owned by GPU Src, must
+// reach every GPU in Dsts (sorted, never containing Src).
+type Task struct {
+	Vertex int32
+	Src    int
+	Dsts   []int
+}
+
+// MulticastTasks expands the relation into one task per vertex that has at
+// least one remote consumer, ordered by vertex id.
+func (r *Relation) MulticastTasks() []Task {
+	dsts := make(map[int32][]int)
+	for src := 0; src < r.K; src++ {
+		for dst := 0; dst < r.K; dst++ {
+			for _, v := range r.Send[src][dst] {
+				dsts[v] = append(dsts[v], dst)
+			}
+		}
+	}
+	out := make([]Task, 0, len(dsts))
+	for v, ds := range dsts {
+		sort.Ints(ds)
+		out = append(out, Task{Vertex: v, Src: int(r.Owner[v]), Dsts: ds})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Vertex < out[j].Vertex })
+	return out
+}
+
+// Class is a group of vertices sharing the same source GPU and destination
+// set; planning treats all its vertices identically, so grouping (and then
+// chunking) classes makes SPST cost proportional to the number of distinct
+// communication patterns rather than the number of vertices.
+type Class struct {
+	Src      int
+	Dsts     []int
+	Vertices []int32
+}
+
+// Classes groups multicast tasks by (source, destination-set). The result is
+// deterministic: classes sorted by source then destination signature, and
+// vertex lists sorted ascending.
+func (r *Relation) Classes() []Class {
+	type key struct {
+		src  int
+		dsts string
+	}
+	byKey := make(map[key]*Class)
+	for _, t := range r.MulticastTasks() {
+		sig := make([]byte, 0, len(t.Dsts)*2)
+		for _, d := range t.Dsts {
+			sig = append(sig, byte(d), byte(d>>8))
+		}
+		kk := key{t.Src, string(sig)}
+		c := byKey[kk]
+		if c == nil {
+			c = &Class{Src: t.Src, Dsts: t.Dsts}
+			byKey[kk] = c
+		}
+		c.Vertices = append(c.Vertices, t.Vertex)
+	}
+	out := make([]Class, 0, len(byKey))
+	for _, c := range byKey {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return lessIntSlice(out[i].Dsts, out[j].Dsts)
+	})
+	return out
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// TotalRemoteVertices returns the total number of (gpu, vertex) remote
+// requirements, i.e. the unit communication volume of one graphAllgather.
+func (r *Relation) TotalRemoteVertices() int64 {
+	var t int64
+	for _, rem := range r.Remote {
+		t += int64(len(rem))
+	}
+	return t
+}
+
+// PairVolume returns an K×K matrix of vertex counts: PairVolume[i][j] =
+// |Vij|.
+func (r *Relation) PairVolume() [][]int64 {
+	out := make([][]int64, r.K)
+	for i := range out {
+		out[i] = make([]int64, r.K)
+		for j := range out[i] {
+			out[i][j] = int64(len(r.Send[i][j]))
+		}
+	}
+	return out
+}
+
+// Validate cross-checks the internal consistency of the relation.
+func (r *Relation) Validate() error {
+	for src := 0; src < r.K; src++ {
+		if r.Send[src][src] != nil {
+			return fmt.Errorf("comm: GPU %d sends to itself", src)
+		}
+		for dst := 0; dst < r.K; dst++ {
+			for _, v := range r.Send[src][dst] {
+				if int(r.Owner[v]) != src {
+					return fmt.Errorf("comm: GPU %d sends vertex %d owned by %d", src, v, r.Owner[v])
+				}
+			}
+		}
+	}
+	// Every remote requirement must be covered by exactly the owner's send set.
+	for d := 0; d < r.K; d++ {
+		covered := make(map[int32]bool)
+		for src := 0; src < r.K; src++ {
+			for _, v := range r.Send[src][d] {
+				if covered[v] {
+					return fmt.Errorf("comm: vertex %d sent to GPU %d twice", v, d)
+				}
+				covered[v] = true
+			}
+		}
+		if len(covered) != len(r.Remote[d]) {
+			return fmt.Errorf("comm: GPU %d needs %d remotes but receives %d", d, len(r.Remote[d]), len(covered))
+		}
+		for _, v := range r.Remote[d] {
+			if !covered[v] {
+				return fmt.Errorf("comm: GPU %d remote vertex %d not sent by anyone", d, v)
+			}
+		}
+	}
+	return nil
+}
+
+// LocalGraph is the re-indexed graph a single GPU trains on: vertices
+// [0,NumLocal) are the GPU's own vertices (in Local[d] order) and vertices
+// [NumLocal, NumLocal+NumRemote) are its remote vertices (in Remote[d]
+// order). Edges are the partition-local edges Ed with endpoints re-indexed;
+// the GNN system can run on it unmodified, as the paper requires.
+type LocalGraph struct {
+	GPU       int
+	NumLocal  int
+	NumRemote int
+	G         *graph.Graph
+	GlobalID  []int32 // local index -> global vertex id
+}
+
+// LocalIndex returns the local index of global vertex v on this GPU, or -1.
+func (lg *LocalGraph) LocalIndex(v int32) int {
+	// GlobalID is sorted in two runs (locals then remotes); binary search each.
+	if i := searchInt32(lg.GlobalID[:lg.NumLocal], v); i >= 0 {
+		return i
+	}
+	if i := searchInt32(lg.GlobalID[lg.NumLocal:], v); i >= 0 {
+		return lg.NumLocal + i
+	}
+	return -1
+}
+
+func searchInt32(s []int32, v int32) int {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return i
+	}
+	return -1
+}
+
+// BuildLocalGraphs constructs the per-GPU re-indexed graphs.
+func BuildLocalGraphs(g *graph.Graph, r *Relation) []*LocalGraph {
+	out := make([]*LocalGraph, r.K)
+	for d := 0; d < r.K; d++ {
+		nl, nr := len(r.Local[d]), len(r.Remote[d])
+		globalID := make([]int32, 0, nl+nr)
+		globalID = append(globalID, r.Local[d]...)
+		globalID = append(globalID, r.Remote[d]...)
+		index := make(map[int32]int32, nl+nr)
+		for i, v := range globalID {
+			index[v] = int32(i)
+		}
+		var edges []graph.Edge
+		for li, u := range r.Local[d] {
+			for _, v := range g.Neighbors(u) {
+				edges = append(edges, graph.Edge{Src: int32(li), Dst: index[v]})
+			}
+		}
+		out[d] = &LocalGraph{
+			GPU:       d,
+			NumLocal:  nl,
+			NumRemote: nr,
+			G:         graph.MustFromEdges(nl+nr, edges, false),
+			GlobalID:  globalID,
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"dgcl/internal/topology"
+)
+
+// The cost model of §5.1. Communications happen in stages; within a stage
+// all transfers run concurrently. Each logical GPU-to-GPU channel occupies a
+// chain of physical hops; the data a channel moves in a stage is charged to
+// every hop it crosses, in the hop's direction. A hop's stage time is its
+// aggregate charged bytes divided by its bandwidth (this is how contention
+// between channels sharing the hop is accounted); a stage's time is the
+// maximum over all hop times (links in the same stage are parallel, and a
+// stage finishes when its slowest link does); the plan's cost is the sum of
+// stage times.
+
+// hopSlot encodes a directed use of a physical connection: conn id * 2 plus
+// 0/1 for the A->B / B->A direction. Opposite directions of a full-duplex
+// connection do not contend.
+type hopSlot int32
+
+// Model precomputes, for every ordered GPU pair, the direct channel and its
+// directed hop slots, so cost evaluation never touches the topology again.
+type Model struct {
+	Topo  *topology.Topology
+	K     int
+	chans [][]*topology.Channel
+	hops  [][][]hopSlot // [src][dst] -> directed hop slots
+	bw    []float64     // hop slot -> bandwidth (bytes/s)
+}
+
+// NewModel builds a cost model for the topology.
+func NewModel(topo *topology.Topology) (*Model, error) {
+	k := topo.NumGPUs()
+	chans, err := topo.AllGPUChannels()
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Topo: topo, K: k, chans: chans}
+	m.bw = make([]float64, 2*len(topo.Conns()))
+	for _, c := range topo.Conns() {
+		m.bw[2*c.ID] = c.Bandwidth
+		m.bw[2*c.ID+1] = c.Bandwidth
+	}
+	m.hops = make([][][]hopSlot, k)
+	for s := 0; s < k; s++ {
+		m.hops[s] = make([][]hopSlot, k)
+		for d := 0; d < k; d++ {
+			if s == d {
+				continue
+			}
+			m.hops[s][d] = m.directedHops(chans[s][d])
+		}
+	}
+	return m, nil
+}
+
+// directedHops walks the channel's hop chain from the source node and
+// assigns each hop its traversal direction.
+func (m *Model) directedHops(ch *topology.Channel) []hopSlot {
+	cur := m.Topo.GPUNode(ch.Src)
+	out := make([]hopSlot, len(ch.Hops))
+	for i, hi := range ch.Hops {
+		c := m.Topo.Conn(hi)
+		if c.A == cur {
+			out[i] = hopSlot(2 * c.ID)
+			cur = c.B
+		} else {
+			out[i] = hopSlot(2*c.ID + 1)
+			cur = c.A
+		}
+	}
+	return out
+}
+
+// Channel returns the direct channel between two GPUs (nil on the diagonal).
+func (m *Model) Channel(src, dst int) *topology.Channel { return m.chans[src][dst] }
+
+// ChannelTime returns the uncontended time to move the given bytes over the
+// direct channel between src and dst (bottleneck hop bound).
+func (m *Model) ChannelTime(src, dst int, bytes int64) float64 {
+	var worst float64
+	for _, h := range m.hops[src][dst] {
+		if t := float64(bytes) / m.bw[h]; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// State is the mutable accumulator the SPST algorithm updates as it routes
+// vertices: per-stage, per-directed-hop byte counts, with the per-stage
+// maximum hop time cached so that cost and incremental-cost queries are
+// O(hops per channel).
+type State struct {
+	m        *Model
+	stageVol [][]float64 // [stage][hopSlot] -> bytes
+	stageMax []float64   // [stage] -> current stage time (seconds)
+}
+
+// NewState returns an empty accumulation state for the model.
+func NewState(m *Model) *State { return &State{m: m} }
+
+// Model returns the model the state accumulates against.
+func (s *State) Model() *Model { return s.m }
+
+func (s *State) ensure(stage int) {
+	for len(s.stageVol) <= stage {
+		s.stageVol = append(s.stageVol, make([]float64, len(s.m.bw)))
+		s.stageMax = append(s.stageMax, 0)
+	}
+}
+
+// Cost returns the total modeled communication time in seconds: the sum over
+// stages of the maximum hop time in the stage.
+func (s *State) Cost() float64 {
+	var t float64
+	for _, st := range s.stageMax {
+		t += st
+	}
+	return t
+}
+
+// StageTime returns the modeled time of one stage (0 if the stage is empty).
+func (s *State) StageTime(stage int) float64 {
+	if stage >= len(s.stageMax) {
+		return 0
+	}
+	return s.stageMax[stage]
+}
+
+// NumStages returns the number of stages with any volume.
+func (s *State) NumStages() int { return len(s.stageMax) }
+
+// Incremental returns the increase in total cost if `bytes` more bytes were
+// sent on the direct channel src->dst during the given stage (Algorithm 2's
+// C(i, ej) entries, computed on demand).
+func (s *State) Incremental(stage, src, dst int, bytes float64) float64 {
+	old := 0.0
+	if stage < len(s.stageMax) {
+		old = s.stageMax[stage]
+	}
+	newMax := old
+	for _, h := range s.m.hops[src][dst] {
+		var vol float64
+		if stage < len(s.stageVol) {
+			vol = s.stageVol[stage][h]
+		}
+		if t := (vol + bytes) / s.m.bw[h]; t > newMax {
+			newMax = t
+		}
+	}
+	return newMax - old
+}
+
+// Add commits `bytes` on the direct channel src->dst at the given stage and
+// updates the cached stage maximum.
+func (s *State) Add(stage, src, dst int, bytes float64) {
+	s.ensure(stage)
+	for _, h := range s.m.hops[src][dst] {
+		s.stageVol[stage][h] += bytes
+		if t := s.stageVol[stage][h] / s.m.bw[h]; t > s.stageMax[stage] {
+			s.stageMax[stage] = t
+		}
+	}
+}
+
+// CostOfPlan evaluates the §5.1 cost model for a complete plan against the
+// model, independent of any State accumulated during planning.
+func CostOfPlan(m *Model, p *Plan) float64 {
+	s := NewState(m)
+	for si, st := range p.Stages {
+		for _, t := range st {
+			s.Add(si, t.Src, t.Dst, float64(int64(len(t.Vertices))*p.BytesPerVertex))
+		}
+	}
+	return s.Cost()
+}
+
+// LinkClassBreakdown computes, for a plan, the modeled time attributable to
+// NVLink hops versus all other hop types (Table 7 / Table 2 style
+// breakdowns). For each stage it takes the max hop time among NVLink hops
+// and among non-NVLink hops separately and sums over stages.
+func LinkClassBreakdown(m *Model, p *Plan) (nvlink, others float64) {
+	numStages := p.NumStages()
+	nvMax := make([]float64, numStages)
+	otMax := make([]float64, numStages)
+	vol := make(map[[2]int]float64) // (stage, hopSlot) -> bytes
+	for si, st := range p.Stages {
+		for _, t := range st {
+			bytes := float64(int64(len(t.Vertices)) * p.BytesPerVertex)
+			for _, h := range m.hops[t.Src][t.Dst] {
+				key := [2]int{si, int(h)}
+				vol[key] += bytes
+				tm := vol[key] / m.bw[h]
+				connType := m.Topo.Conn(int(h) / 2).Type
+				if connType.IsNVLink() {
+					if tm > nvMax[si] {
+						nvMax[si] = tm
+					}
+				} else if tm > otMax[si] {
+					otMax[si] = tm
+				}
+			}
+		}
+	}
+	for si := 0; si < numStages; si++ {
+		nvlink += nvMax[si]
+		others += otMax[si]
+	}
+	return nvlink, others
+}
+
+func (m *Model) String() string {
+	return fmt.Sprintf("core.Model{%s, K=%d, conns=%d}", m.Topo.Name, m.K, len(m.Topo.Conns()))
+}

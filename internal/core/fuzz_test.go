@@ -1,0 +1,27 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadPlanJSON: the plan decoder must never panic and must reject
+// structurally invalid plans.
+func FuzzReadPlanJSON(f *testing.F) {
+	f.Add(`{"k":4,"bytes_per_vertex":4,"algorithm":"x","stages":[[{"Src":0,"Dst":1,"Vertices":[1,2]}]]}`)
+	f.Add(`{"k":0}`)
+	f.Add(`garbage`)
+	f.Add(`{"k":2,"bytes_per_vertex":1,"stages":[[{"Src":1,"Dst":1,"Vertices":[]}]]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ReadPlanJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted plans answer queries without panicking.
+		_ = p.NumStages()
+		_ = p.TotalBytes()
+		_ = p.TableMemoryBytes()
+		_ = p.ComputeStats(nil)
+		_ = p.BackwardSchedule(true)
+	})
+}

@@ -1,0 +1,76 @@
+// Package device models the GPUs of the paper's testbeds: memory capacity
+// for OOM accounting (the reason Replication fails on Com-Orkut and
+// Wiki-Talk, and single GPUs fail on large graphs) and effective compute
+// throughput for per-epoch time estimation. Throughputs are split into dense
+// GEMM and sparse aggregation rates because GNN epochs are dominated by the
+// irregular aggregation, which runs far below a GPU's peak FLOPS.
+package device
+
+import (
+	"fmt"
+
+	"dgcl/internal/gnn"
+)
+
+// GPU describes one accelerator.
+type GPU struct {
+	Name string
+	// CapacityBytes is the physical memory; UsableBytes excludes the
+	// CUDA context, framework workspace and fragmentation reserve.
+	CapacityBytes, UsableBytes int64
+	// DenseFLOPS and SparseFLOPS are effective fp32 throughputs for GEMM and
+	// for SpMM-style neighbor aggregation, in FLOP/s.
+	DenseFLOPS, SparseFLOPS float64
+}
+
+// V100 returns the 16 GB V100 of the paper's default configuration.
+func V100() GPU {
+	return GPU{
+		Name:          "V100-16GB",
+		CapacityBytes: 16 << 30,
+		UsableBytes:   14 << 30,
+		DenseFLOPS:    4e12,
+		SparseFLOPS:   0.7e12,
+	}
+}
+
+// GTX1080Ti returns the 12 GB 1080-Ti of the paper's second configuration.
+func GTX1080Ti() GPU {
+	return GPU{
+		Name:          "1080Ti-12GB",
+		CapacityBytes: 12 << 30,
+		UsableBytes:   10 << 30,
+		DenseFLOPS:    2e12,
+		SparseFLOPS:   0.35e12,
+	}
+}
+
+// EpochComputeTime returns the simulated seconds one GPU spends computing a
+// full forward+backward epoch for `vertices` owned vertices and `edges`
+// local edges under the given model.
+func (g GPU) EpochComputeTime(m *gnn.Model, vertices, edges int64) float64 {
+	sparse := m.SparseFLOPsPerEpoch(edges)
+	dense := m.FLOPsPerEpoch(vertices, edges) - sparse
+	return float64(dense)/g.DenseFLOPS + float64(sparse)/g.SparseFLOPS
+}
+
+// TrainingMemoryBytes estimates the device memory required to train the
+// model with `resident` vertices (owned + remote + replicated) and `edges`
+// local edges, with the given input feature dimension. The 1.5x factor
+// covers temporaries and allocator slack.
+func TrainingMemoryBytes(m *gnn.Model, resident, edges int64, featureDim int) int64 {
+	activations := resident * m.ActivationFloatsPerVertex(featureDim) * 4
+	graphBytes := edges*4 + resident*8 // CSR targets + offsets
+	return (activations+graphBytes)*3/2 + (64 << 20)
+}
+
+// CheckFits returns nil when the working set fits the GPU's usable memory,
+// or a descriptive OOM error.
+func (g GPU) CheckFits(m *gnn.Model, resident, edges int64, featureDim int) error {
+	need := TrainingMemoryBytes(m, resident, edges, featureDim)
+	if need > g.UsableBytes {
+		return fmt.Errorf("device: OOM on %s: need %.2f GB, usable %.2f GB",
+			g.Name, float64(need)/(1<<30), float64(g.UsableBytes)/(1<<30))
+	}
+	return nil
+}

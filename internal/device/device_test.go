@@ -1,0 +1,103 @@
+package device
+
+import (
+	"testing"
+
+	"dgcl/internal/gnn"
+	"dgcl/internal/graph"
+)
+
+func TestEpochComputeTimePositiveAndOrdered(t *testing.T) {
+	g := V100()
+	var prev float64
+	for _, kind := range gnn.AllModels {
+		m := gnn.NewModel(kind, 128, 128, 2, 1)
+		tm := g.EpochComputeTime(m, 100_000, 4_000_000)
+		if tm <= prev {
+			t.Fatalf("%s compute time %v should exceed previous %v", kind, tm, prev)
+		}
+		prev = tm
+	}
+}
+
+func TestV100FasterThan1080Ti(t *testing.T) {
+	m := gnn.NewModel(gnn.GCN, 256, 256, 2, 1)
+	v, p := V100(), GTX1080Ti()
+	if v.EpochComputeTime(m, 50_000, 1_000_000) >= p.EpochComputeTime(m, 50_000, 1_000_000) {
+		t.Fatal("V100 should be faster than 1080Ti")
+	}
+}
+
+// Full-size OOM shapes from the paper's Figure 7: Replication fails on
+// Com-Orkut and Wiki-Talk (each GPU would hold nearly the whole graph) but
+// runs on Reddit and Web-Google.
+func TestReplicationOOMShapes(t *testing.T) {
+	gpu := V100()
+	cases := []struct {
+		ds      graph.Dataset
+		kind    gnn.ModelKind
+		wantOOM bool
+	}{
+		{graph.ComOrkut, gnn.GCN, true},
+		{graph.WikiTalk, gnn.GCN, true},
+		{graph.Reddit, gnn.GCN, false},
+		{graph.WebGoogle, gnn.GCN, false},
+	}
+	for _, c := range cases {
+		m := gnn.NewModel(c.kind, c.ds.FeatureDim, c.ds.HiddenDim, 2, 1)
+		// Replication on a dense graph stores ~the whole graph per GPU.
+		err := gpu.CheckFits(m, int64(c.ds.Vertices), c.ds.Edges, c.ds.FeatureDim)
+		if (err != nil) != c.wantOOM {
+			t.Errorf("%s full-graph-per-GPU OOM=%v want %v (err=%v)", c.ds.Name, err != nil, c.wantOOM, err)
+		}
+	}
+}
+
+// Figure 9: GIN on Web-Google does not fit a single GPU, but half the graph
+// does (2 GPUs work).
+func TestSingleGPUGINWebGoogleOOM(t *testing.T) {
+	gpu := V100()
+	ds := graph.WebGoogle
+	m := gnn.NewModel(gnn.GIN, ds.FeatureDim, ds.HiddenDim, 2, 1)
+	if err := gpu.CheckFits(m, int64(ds.Vertices), ds.Edges, ds.FeatureDim); err == nil {
+		t.Fatal("GIN on full Web-Google should OOM on one V100")
+	}
+	if err := gpu.CheckFits(m, int64(ds.Vertices)/2, ds.Edges/2, ds.FeatureDim); err != nil {
+		t.Fatalf("half of Web-Google should fit: %v", err)
+	}
+}
+
+// Figure 8: GCN on Reddit fits a single GPU (the paper trains it on 1 GPU).
+func TestSingleGPURedditFits(t *testing.T) {
+	gpu := V100()
+	ds := graph.Reddit
+	m := gnn.NewModel(gnn.GCN, ds.FeatureDim, ds.HiddenDim, 2, 1)
+	if err := gpu.CheckFits(m, int64(ds.Vertices), ds.Edges, ds.FeatureDim); err != nil {
+		t.Fatalf("Reddit should fit one V100: %v", err)
+	}
+}
+
+func TestNonReplicatedPartitionsFit(t *testing.T) {
+	// With 8 GPUs and no replication every dataset must fit (the baseline
+	// configurations of Figure 7 all run).
+	gpu := V100()
+	for _, ds := range graph.AllDatasets {
+		for _, kind := range gnn.AllModels {
+			m := gnn.NewModel(kind, ds.FeatureDim, ds.HiddenDim, 2, 1)
+			// Resident ≈ owned + remote halo; be generous with 2x owned.
+			resident := int64(ds.Vertices) / 8 * 2
+			if err := gpu.CheckFits(m, resident, ds.Edges/8, ds.FeatureDim); err != nil {
+				t.Errorf("%s/%s with 8 GPUs should fit: %v", ds.Name, kind, err)
+			}
+		}
+	}
+}
+
+func TestTrainingMemoryMonotone(t *testing.T) {
+	m := gnn.NewModel(gnn.GCN, 64, 64, 2, 1)
+	small := TrainingMemoryBytes(m, 1000, 10000, 64)
+	big := TrainingMemoryBytes(m, 2000, 10000, 64)
+	if big <= small {
+		t.Fatal("memory must grow with resident vertices")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dgcl/internal/baselines"
+	"dgcl/internal/collective"
+	"dgcl/internal/core"
+	"dgcl/internal/graph"
+)
+
+// Ablations renders the planner design-choice study DESIGN.md calls for:
+// for each dataset at 8 GPUs, the §5.1-modeled allgather cost of the full
+// SPST planner against every degraded variant and strawman. (The testing.B
+// benches in ablation_bench_test.go measure the same quantities
+// individually; this report puts them side by side.)
+func Ablations(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := &Report{ID: "ablations",
+		Title:  "Modeled allgather cost (ms, full-size): SPST vs degraded planners, 8 GPUs",
+		Header: []string{"Dataset", "SPST", "no-forwarding", "tree-per-src", "Steiner", "P2P", "NCCL-volume-x"}}
+	for _, ds := range graph.AllDatasets {
+		w, err := buildWorkload(cfg, ds, 8)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.NewModel(w.topo)
+		if err != nil {
+			return nil, err
+		}
+		bpv := int64(ds.FeatureDim) * 4
+		row := []string{ds.Name}
+		var spstBytes int64
+		for _, variant := range []core.SPSTOptions{
+			{Seed: cfg.Seed},
+			{Seed: cfg.Seed, DisableForwarding: true},
+			{Seed: cfg.Seed, TreePerSource: true},
+		} {
+			plan, state, err := core.PlanSPST(w.rel, w.topo, bpv, variant)
+			if err != nil {
+				return nil, err
+			}
+			if !variant.DisableForwarding && !variant.TreePerSource {
+				spstBytes = plan.TotalBytes()
+			}
+			row = append(row, fullMS(state.Cost(), cfg.Scale))
+		}
+		steiner, err := baselines.PlanSteiner(w.rel, w.topo, bpv)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fullMS(core.CostOfPlan(m, steiner), cfg.Scale))
+		p2p := baselines.PlanP2P(w.rel, bpv)
+		row = append(row, fullMS(core.CostOfPlan(m, p2p), cfg.Scale))
+		// How much more volume a regular NCCL-style allgather would move.
+		full := collective.FullAllgatherBytes(w.part.Sizes(), bpv)
+		row = append(row, fmt.Sprintf("%.1f", float64(full)/float64(spstBytes)))
+		r.Rows = append(r.Rows, row)
+	}
+	r.Notes = append(r.Notes,
+		"no-forwarding isolates fast-link relaying; tree-per-src isolates per-vertex flexibility;",
+		"Steiner uses static link costs (the §5.2 strawman); NCCL-volume-x is the byte overshoot of a regular collective allgather (§3)")
+	return r, nil
+}

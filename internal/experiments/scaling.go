@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dgcl/internal/baselines"
+	"dgcl/internal/comm"
+	"dgcl/internal/core"
+	"dgcl/internal/gnn"
+	"dgcl/internal/graph"
+	"dgcl/internal/partition"
+	"dgcl/internal/simnet"
+	"dgcl/internal/topology"
+)
+
+// Scaling extends Figure 8 beyond the paper's hardware: GCN on Reddit over
+// 1-4 IB-switched DGX-1 machines (8/16/24/32 GPUs), comparing DGCL and
+// peer-to-peer per-epoch times. The paper observes scaling degrading at 16
+// GPUs because of the shared NIC; with one NIC per machine on a switch, the
+// per-machine NIC remains the bottleneck and the trend continues.
+func Scaling(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := &Report{ID: "scaling",
+		Title:  "GCN on Reddit beyond the paper: per-epoch (ms, full-size) on 1-4 IB-switched machines",
+		Header: []string{"Machines", "GPUs", "DGCL", "P2P", "DGCL comm", "P2P comm", "Speedup vs 8-GPU DGCL"}}
+	ds := graph.Reddit
+	g := ds.Generate(cfg.Scale, cfg.Seed)
+	var base float64
+	for machines := 1; machines <= 4; machines++ {
+		k := 8 * machines
+		topo := topology.MultiMachineDGX1(machines)
+		var p *partition.Partition
+		var err error
+		if machines == 1 {
+			p, err = partition.KWay(g, k, partition.Options{Seed: cfg.Seed})
+		} else {
+			per := make([]int, machines)
+			for i := range per {
+				per[i] = 8
+			}
+			p, err = partition.Hierarchical(g, per, partition.Options{Seed: cfg.Seed})
+		}
+		if err != nil {
+			return nil, err
+		}
+		rel, err := comm.Build(g, p)
+		if err != nil {
+			return nil, err
+		}
+		w := &workload{ds: ds, g: g, part: p, rel: rel, topo: topo, k: k, scale: cfg.Scale, layers: cfg.Layers}
+		net, err := simnet.New(topo, simConfig(cfg))
+		if err != nil {
+			return nil, err
+		}
+		model := w.newModel(gnn.GCN)
+		gpu := gpuFor(topo)
+		maxV, maxE := w.maxLocalLoad()
+		compute := gpu.EpochComputeTime(model, maxV, maxE)
+
+		plan, _, err := core.PlanSPST(rel, topo, int64(ds.FeatureDim)*4, core.SPSTOptions{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		dgclComm, err := commTimePerEpoch(w, plan, net)
+		if err != nil {
+			return nil, err
+		}
+		p2pComm, err := commTimePerEpoch(w, baselines.PlanP2P(rel, int64(ds.FeatureDim)*4), net)
+		if err != nil {
+			return nil, err
+		}
+		dgclTotal := compute + dgclComm
+		if machines == 1 {
+			base = dgclTotal
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", machines), fmt.Sprintf("%d", k),
+			fullMS(dgclTotal, cfg.Scale), fullMS(compute+p2pComm, cfg.Scale),
+			fullMS(dgclComm, cfg.Scale), fullMS(p2pComm, cfg.Scale),
+			fmt.Sprintf("%.2fx", base/dgclTotal),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"beyond-paper projection: per-machine NICs bound cross-machine traffic, so dense graphs stop scaling past one machine — the paper's 16-GPU observation generalizes")
+	return r, nil
+}

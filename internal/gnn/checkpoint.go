@@ -1,0 +1,123 @@
+package gnn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Model checkpointing: a compact binary format (magic, kind, layer dims,
+// then raw float32 parameters in layer/param order) so long trainings can
+// resume and trained models can ship. Replica determinism makes one
+// checkpoint valid for every GPU.
+
+const checkpointMagic = "DGCLCKPT"
+
+// Save writes the model's weights.
+func (m *Model) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, checkpointMagic); err != nil {
+		return err
+	}
+	writeStr := func(s string) error {
+		if err := binary.Write(w, binary.LittleEndian, int32(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, s)
+		return err
+	}
+	if err := writeStr(string(m.Kind)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int32(len(m.Layers))); err != nil {
+		return err
+	}
+	for _, l := range m.Layers {
+		if err := binary.Write(w, binary.LittleEndian, [2]int32{int32(l.InDim()), int32(l.OutDim())}); err != nil {
+			return err
+		}
+		for _, p := range l.Params() {
+			if err := binary.Write(w, binary.LittleEndian, [2]int32{int32(p.Rows), int32(p.Cols)}); err != nil {
+				return err
+			}
+			for _, v := range p.Data {
+				if err := binary.Write(w, binary.LittleEndian, math.Float32bits(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a checkpoint and reconstructs the model (weights exactly as
+// saved, gradients zeroed).
+func Load(r io.Reader) (*Model, error) {
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("gnn: read magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("gnn: not a DGCL checkpoint (magic %q)", magic)
+	}
+	readStr := func() (string, error) {
+		var n int32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		if n < 0 || n > 1024 {
+			return "", fmt.Errorf("gnn: implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	kindStr, err := readStr()
+	if err != nil {
+		return nil, fmt.Errorf("gnn: read kind: %w", err)
+	}
+	kind := ModelKind(kindStr)
+	switch kind {
+	case GCN, CommNet, GIN, GraphSAGE, GAT:
+	default:
+		return nil, fmt.Errorf("gnn: unknown model kind %q in checkpoint", kindStr)
+	}
+	var numLayers int32
+	if err := binary.Read(r, binary.LittleEndian, &numLayers); err != nil {
+		return nil, err
+	}
+	if numLayers < 1 || numLayers > 256 {
+		return nil, fmt.Errorf("gnn: implausible layer count %d", numLayers)
+	}
+	m := &Model{Kind: kind}
+	for li := int32(0); li < numLayers; li++ {
+		var dims [2]int32
+		if err := binary.Read(r, binary.LittleEndian, &dims); err != nil {
+			return nil, err
+		}
+		if dims[0] < 1 || dims[1] < 1 || dims[0] > 1<<20 || dims[1] > 1<<20 {
+			return nil, fmt.Errorf("gnn: implausible layer dims %v", dims)
+		}
+		layer := kind.NewLayer(int(dims[0]), int(dims[1]), 0)
+		for _, p := range layer.Params() {
+			var shape [2]int32
+			if err := binary.Read(r, binary.LittleEndian, &shape); err != nil {
+				return nil, err
+			}
+			if int(shape[0]) != p.Rows || int(shape[1]) != p.Cols {
+				return nil, fmt.Errorf("gnn: layer %d param shape %v, expected %dx%d", li, shape, p.Rows, p.Cols)
+			}
+			for j := range p.Data {
+				var bits uint32
+				if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+					return nil, err
+				}
+				p.Data[j] = math.Float32frombits(bits)
+			}
+		}
+		m.Layers = append(m.Layers, layer)
+	}
+	return m, nil
+}

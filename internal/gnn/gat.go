@@ -1,0 +1,201 @@
+package gnn
+
+import (
+	"math"
+
+	"dgcl/internal/tensor"
+)
+
+// GATLayer implements a single-head graph attention layer (Veličković et
+// al., cited as [33] in the paper):
+//
+//	z_v   = h_v · W
+//	e_uv  = LeakyReLU(a_l·z_u + a_r·z_v)        for v ∈ N(u)
+//	α_u·  = softmax over N(u) of e_u·
+//	out_u = ReLU(Σ_v α_uv z_v + b)
+//
+// Attention is the hardest model for distributed execution to get right:
+// the softmax normalizes over each vertex's full neighborhood, so remote
+// embeddings must be present before normalization — precisely what
+// graphAllgather guarantees — and the backward pass couples gradients of
+// every neighbor through the softmax Jacobian.
+type GATLayer struct {
+	W, AttL, AttR, B     *tensor.Matrix
+	gW, gAttL, gAttR, gB *tensor.Matrix
+	negativeSlope        float32
+
+	in, z, pre *tensor.Matrix
+	sl, sr     []float32 // attention logits per row
+	alpha      []float32 // per-edge attention, CSR order over agg.G
+	argPos     []bool    // per-edge: LeakyReLU argument > 0
+}
+
+// NewGATLayer builds a single-head GAT layer.
+func NewGATLayer(in, out int, seed int64) *GATLayer {
+	return &GATLayer{
+		W: tensor.New(in, out).Xavier(seed), AttL: tensor.New(out, 1).Xavier(seed + 1),
+		AttR: tensor.New(out, 1).Xavier(seed + 2), B: tensor.New(1, out),
+		gW: tensor.New(in, out), gAttL: tensor.New(out, 1),
+		gAttR: tensor.New(out, 1), gB: tensor.New(1, out),
+		negativeSlope: 0.2,
+	}
+}
+
+// InDim returns the input width.
+func (l *GATLayer) InDim() int { return l.W.Rows }
+
+// OutDim returns the output width.
+func (l *GATLayer) OutDim() int { return l.W.Cols }
+
+func dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Forward computes attention over each local vertex's (local + remote)
+// neighborhood.
+func (l *GATLayer) Forward(agg *Aggregator, h *tensor.Matrix) *tensor.Matrix {
+	l.in = h
+	l.z = tensor.MatMul(h, l.W)
+	rows := h.Rows
+	l.sl = make([]float32, rows)
+	l.sr = make([]float32, rows)
+	al := l.AttL.Data
+	ar := l.AttR.Data
+	for r := 0; r < rows; r++ {
+		zr := l.z.Row(r)
+		l.sl[r] = dot(zr, al)
+		l.sr[r] = dot(zr, ar)
+	}
+	l.alpha = make([]float32, 0, agg.G.NumEdges())
+	l.argPos = make([]bool, 0, agg.G.NumEdges())
+	l.pre = tensor.New(agg.NumOut, l.z.Cols)
+	for u := 0; u < agg.NumOut; u++ {
+		nbrs := agg.G.Neighbors(int32(u))
+		if len(nbrs) == 0 {
+			continue
+		}
+		// Numerically stable softmax over the neighborhood.
+		logits := make([]float32, len(nbrs))
+		maxLogit := float32(math.Inf(-1))
+		for i, v := range nbrs {
+			arg := l.sl[u] + l.sr[v]
+			pos := arg > 0
+			e := arg
+			if !pos {
+				e = arg * l.negativeSlope
+			}
+			logits[i] = e
+			l.argPos = append(l.argPos, pos)
+			if e > maxLogit {
+				maxLogit = e
+			}
+		}
+		var sum float32
+		for i := range logits {
+			logits[i] = float32(math.Exp(float64(logits[i] - maxLogit)))
+			sum += logits[i]
+		}
+		prow := l.pre.Row(u)
+		for i, v := range nbrs {
+			a := logits[i] / sum
+			l.alpha = append(l.alpha, a)
+			zv := l.z.Row(int(v))
+			for j, x := range zv {
+				prow[j] += a * x
+			}
+		}
+	}
+	out := l.pre.Clone()
+	tensor.AddBiasInPlace(out, l.B)
+	l.pre = out.Clone() // cache pre-activation including bias
+	return tensor.ReLU(out)
+}
+
+// Backward propagates through the attention softmax.
+func (l *GATLayer) Backward(agg *Aggregator, gradOut *tensor.Matrix) *tensor.Matrix {
+	gradPre := tensor.ReLUGrad(l.pre, gradOut)
+	tensor.AddInPlace(l.gB, tensor.BiasGrad(gradPre))
+
+	rows := l.in.Rows
+	gradZ := tensor.New(rows, l.z.Cols)
+	gradSL := make([]float32, rows)
+	gradSR := make([]float32, rows)
+	ei := 0
+	for u := 0; u < agg.NumOut; u++ {
+		nbrs := agg.G.Neighbors(int32(u))
+		if len(nbrs) == 0 {
+			continue
+		}
+		gu := gradPre.Row(u)
+		// gradAlpha_i = gu · z_v; softmax Jacobian needs Σ α_i gradAlpha_i.
+		gradAlpha := make([]float32, len(nbrs))
+		var inner float32
+		for i, v := range nbrs {
+			gradAlpha[i] = dot(gu, l.z.Row(int(v)))
+			inner += l.alpha[ei+i] * gradAlpha[i]
+		}
+		for i, v := range nbrs {
+			a := l.alpha[ei+i]
+			// z_v receives the α-weighted output gradient.
+			zg := gradZ.Row(int(v))
+			for j, x := range gu {
+				zg[j] += a * x
+			}
+			gradE := a * (gradAlpha[i] - inner)
+			if !l.argPos[ei+i] {
+				gradE *= l.negativeSlope
+			}
+			gradSL[u] += gradE
+			gradSR[v] += gradE
+		}
+		ei += len(nbrs)
+	}
+	// s_l = z·a_l and s_r = z·a_r contribute to z and the attention vectors.
+	al := l.AttL.Data
+	ar := l.AttR.Data
+	for r := 0; r < rows; r++ {
+		zr := l.z.Row(r)
+		zg := gradZ.Row(r)
+		for j := range zr {
+			zg[j] += gradSL[r]*al[j] + gradSR[r]*ar[j]
+			l.gAttL.Data[j] += gradSL[r] * zr[j]
+			l.gAttR.Data[j] += gradSR[r] * zr[j]
+		}
+	}
+	tensor.AddInPlace(l.gW, tensor.MatMulATB(l.in, gradZ))
+	return tensor.MatMulABT(gradZ, l.W)
+}
+
+// Params returns the trainable parameters.
+func (l *GATLayer) Params() []*tensor.Matrix {
+	return []*tensor.Matrix{l.W, l.AttL, l.AttR, l.B}
+}
+
+// Grads returns the accumulated gradients.
+func (l *GATLayer) Grads() []*tensor.Matrix {
+	return []*tensor.Matrix{l.gW, l.gAttL, l.gAttR, l.gB}
+}
+
+// ZeroGrads clears the gradients.
+func (l *GATLayer) ZeroGrads() {
+	l.gW.Zero()
+	l.gAttL.Zero()
+	l.gAttR.Zero()
+	l.gB.Zero()
+}
+
+// FLOPs: projection GEMM + per-edge attention (logit, softmax, weighted sum).
+func (l *GATLayer) FLOPs(vertices, edges int64) int64 {
+	in, out := int64(l.InDim()), int64(l.OutDim())
+	return 2*vertices*in*out + 4*edges*out
+}
+
+// SparseFLOPs is the per-edge attention work.
+func (l *GATLayer) SparseFLOPs(edges int64) int64 { return 4 * edges * int64(l.OutDim()) }
+
+// CacheFloatsPerVertex: z + pre + logits (~avg degree amortized into 2*out).
+func (l *GATLayer) CacheFloatsPerVertex() int64 { return int64(4 * l.OutDim()) }

@@ -1,0 +1,108 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"dgcl/internal/tensor"
+)
+
+// Optimizer applies accumulated model gradients to parameters. Distributed
+// training keeps one optimizer per replica; because gradients are
+// allreduced before Step, all replicas evolve identically.
+type Optimizer interface {
+	// Step applies one update using the model's current gradients and
+	// clears them.
+	Step(m *Model)
+	// Name identifies the optimizer for logs.
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	velocity map[*tensor.Matrix]*tensor.Matrix
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*tensor.Matrix]*tensor.Matrix)}
+}
+
+// Name implements Optimizer.
+func (o *SGD) Name() string { return fmt.Sprintf("sgd(lr=%g,m=%g)", o.LR, o.Momentum) }
+
+// Step implements Optimizer.
+func (o *SGD) Step(m *Model) {
+	for _, l := range m.Layers {
+		params, grads := l.Params(), l.Grads()
+		for i, p := range params {
+			g := grads[i]
+			if o.Momentum == 0 {
+				for j := range p.Data {
+					p.Data[j] -= o.LR * g.Data[j]
+				}
+				continue
+			}
+			v := o.velocity[p]
+			if v == nil {
+				v = tensor.New(p.Rows, p.Cols)
+				o.velocity[p] = v
+			}
+			for j := range p.Data {
+				v.Data[j] = o.Momentum*v.Data[j] + g.Data[j]
+				p.Data[j] -= o.LR * v.Data[j]
+			}
+		}
+		l.ZeroGrads()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	step                  int
+	m, v                  map[*tensor.Matrix]*tensor.Matrix
+}
+
+// NewAdam builds an Adam optimizer with standard defaults for unset fields.
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*tensor.Matrix]*tensor.Matrix), v: make(map[*tensor.Matrix]*tensor.Matrix),
+	}
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string { return fmt.Sprintf("adam(lr=%g)", o.LR) }
+
+// Step implements Optimizer.
+func (o *Adam) Step(model *Model) {
+	o.step++
+	c1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.step)))
+	c2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.step)))
+	for _, l := range model.Layers {
+		params, grads := l.Params(), l.Grads()
+		for i, p := range params {
+			g := grads[i]
+			mb := o.m[p]
+			vb := o.v[p]
+			if mb == nil {
+				mb = tensor.New(p.Rows, p.Cols)
+				vb = tensor.New(p.Rows, p.Cols)
+				o.m[p] = mb
+				o.v[p] = vb
+			}
+			for j := range p.Data {
+				gj := g.Data[j]
+				mb.Data[j] = o.Beta1*mb.Data[j] + (1-o.Beta1)*gj
+				vb.Data[j] = o.Beta2*vb.Data[j] + (1-o.Beta2)*gj*gj
+				mhat := mb.Data[j] / c1
+				vhat := vb.Data[j] / c2
+				p.Data[j] -= o.LR * mhat / (float32(math.Sqrt(float64(vhat))) + o.Eps)
+			}
+		}
+		l.ZeroGrads()
+	}
+}

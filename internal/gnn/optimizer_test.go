@@ -1,0 +1,93 @@
+package gnn
+
+import (
+	"strings"
+	"testing"
+
+	"dgcl/internal/graph"
+	"dgcl/internal/tensor"
+)
+
+// trainWith runs epochs with the given optimizer and returns the final
+// loss.
+func trainWith(t *testing.T, opt Optimizer, epochs int) float64 {
+	t.Helper()
+	g := graph.CommunityGraph(100, 8, 4, 0.8, 5)
+	model := NewModel(GCN, 8, 8, 2, 11)
+	sd := NewSingleDevice(model, g, 13)
+	features := tensor.New(g.NumVertices(), 8).FillRandom(17)
+	var loss float64
+	for i := 0; i < epochs; i++ {
+		loss = sd.Epoch(features)
+		opt.Step(model)
+	}
+	return loss
+}
+
+func TestSGDMatchesModelStep(t *testing.T) {
+	// SGD without momentum must equal Model.Step exactly.
+	g := graph.Ring(20)
+	mkLoss := func(useOpt bool) float64 {
+		model := NewModel(GCN, 4, 4, 2, 7)
+		sd := NewSingleDevice(model, g, 8)
+		features := tensor.New(20, 4).FillRandom(9)
+		var loss float64
+		opt := NewSGD(0.01, 0)
+		for i := 0; i < 5; i++ {
+			loss = sd.Epoch(features)
+			if useOpt {
+				opt.Step(model)
+			} else {
+				model.Step(0.01)
+			}
+		}
+		return loss
+	}
+	if a, b := mkLoss(true), mkLoss(false); a != b {
+		t.Fatalf("SGD optimizer %v != Model.Step %v", a, b)
+	}
+}
+
+func TestMomentumAcceleratesDescent(t *testing.T) {
+	plain := trainWith(t, NewSGD(0.002, 0), 25)
+	momentum := trainWith(t, NewSGD(0.002, 0.9), 25)
+	if momentum >= plain {
+		t.Fatalf("momentum (%v) should beat plain SGD (%v) on this fixture", momentum, plain)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	// Much of the random-target MSE is irreducible; Adam must make steady
+	// progress on the reducible part.
+	start := trainWith(t, NewAdam(0.005), 1)
+	end := trainWith(t, NewAdam(0.005), 40)
+	if end >= start {
+		t.Fatalf("Adam did not converge: %v -> %v", start, end)
+	}
+}
+
+func TestOptimizersZeroGrads(t *testing.T) {
+	for _, opt := range []Optimizer{NewSGD(0.1, 0.5), NewAdam(0.01)} {
+		g := graph.Ring(10)
+		model := NewModel(GCN, 3, 3, 1, 1)
+		sd := NewSingleDevice(model, g, 2)
+		sd.Epoch(tensor.New(10, 3).FillRandom(3))
+		opt.Step(model)
+		for _, l := range model.Layers {
+			for _, gr := range l.Grads() {
+				if tensor.Frobenius(gr) != 0 {
+					t.Fatalf("%s left grads dirty", opt.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	if !strings.HasPrefix(NewSGD(0.1, 0).Name(), "sgd") {
+		t.Fatal("bad sgd name")
+	}
+	if !strings.HasPrefix(NewAdam(0.1).Name(), "adam") {
+		t.Fatal("bad adam name")
+	}
+}

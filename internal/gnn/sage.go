@@ -1,0 +1,148 @@
+package gnn
+
+import (
+	"math"
+
+	"dgcl/internal/tensor"
+)
+
+// SAGELayer implements GraphSAGE with the max-pooling aggregator
+// (Hamilton et al., cited as [8] in the paper):
+//
+//	pool_v = ReLU(h_v · Wpool + bpool)                 (every input row)
+//	a_u    = elementwise-max over v ∈ N(u) of pool_v
+//	out_u  = ReLU(h_u · Wself + a_u · Wneigh + b)
+//
+// Max aggregation is order-independent, so distributed execution matches
+// single-device execution exactly; the backward pass routes each feature's
+// gradient to the argmax neighbor, which exercises a different (sparser,
+// more irregular) gradient flow than the sum/mean models.
+type SAGELayer struct {
+	Wpool, Bpool, Wself, Wneigh, B      *tensor.Matrix
+	gWpool, gBpool, gWself, gWneigh, gB *tensor.Matrix
+
+	in, poolPre, pool, agg, pre *tensor.Matrix
+	argmax                      []int32 // (u*cols + j) -> input row index, -1 if none
+}
+
+// NewSAGELayer builds a GraphSAGE layer whose pooling width equals the
+// output width.
+func NewSAGELayer(in, out int, seed int64) *SAGELayer {
+	return &SAGELayer{
+		Wpool: tensor.New(in, out).Xavier(seed), Bpool: tensor.New(1, out),
+		Wself: tensor.New(in, out).Xavier(seed + 1), Wneigh: tensor.New(out, out).Xavier(seed + 2),
+		B:      tensor.New(1, out),
+		gWpool: tensor.New(in, out), gBpool: tensor.New(1, out),
+		gWself: tensor.New(in, out), gWneigh: tensor.New(out, out), gB: tensor.New(1, out),
+	}
+}
+
+// InDim returns the input embedding width.
+func (l *SAGELayer) InDim() int { return l.Wpool.Rows }
+
+// OutDim returns the output embedding width.
+func (l *SAGELayer) OutDim() int { return l.Wneigh.Cols }
+
+// Forward computes the max-pool SAGE update for the first agg.NumOut rows.
+func (l *SAGELayer) Forward(agg *Aggregator, h *tensor.Matrix) *tensor.Matrix {
+	l.in = h
+	l.poolPre = tensor.MatMul(h, l.Wpool)
+	tensor.AddBiasInPlace(l.poolPre, l.Bpool)
+	l.pool = tensor.ReLU(l.poolPre)
+	cols := l.pool.Cols
+	l.agg = tensor.New(agg.NumOut, cols)
+	l.argmax = make([]int32, agg.NumOut*cols)
+	for i := range l.argmax {
+		l.argmax[i] = -1
+	}
+	for u := 0; u < agg.NumOut; u++ {
+		arow := l.agg.Row(u)
+		for j := range arow {
+			arow[j] = float32(math.Inf(-1))
+		}
+		for _, v := range agg.G.Neighbors(int32(u)) {
+			prow := l.pool.Row(int(v))
+			for j, x := range prow {
+				if x > arow[j] {
+					arow[j] = x
+					l.argmax[u*cols+j] = v
+				}
+			}
+		}
+		// Isolated vertices aggregate zero.
+		for j := range arow {
+			if math.IsInf(float64(arow[j]), -1) {
+				arow[j] = 0
+			}
+		}
+	}
+	self := selfRows(h, agg.NumOut)
+	l.pre = tensor.MatMul(self, l.Wself)
+	tensor.AddInPlace(l.pre, tensor.MatMul(l.agg, l.Wneigh))
+	tensor.AddBiasInPlace(l.pre, l.B)
+	return tensor.ReLU(l.pre)
+}
+
+// Backward propagates through the max-pool: each aggregated feature's
+// gradient flows only to the neighbor that won the max.
+func (l *SAGELayer) Backward(agg *Aggregator, gradOut *tensor.Matrix) *tensor.Matrix {
+	gradPre := tensor.ReLUGrad(l.pre, gradOut)
+	self := selfRows(l.in, agg.NumOut)
+	tensor.AddInPlace(l.gWself, tensor.MatMulATB(self, gradPre))
+	tensor.AddInPlace(l.gWneigh, tensor.MatMulATB(l.agg, gradPre))
+	tensor.AddInPlace(l.gB, tensor.BiasGrad(gradPre))
+
+	gradAgg := tensor.MatMulABT(gradPre, l.Wneigh)
+	// Route to argmax pool rows.
+	gradPool := tensor.New(l.pool.Rows, l.pool.Cols)
+	cols := l.pool.Cols
+	for u := 0; u < agg.NumOut; u++ {
+		grow := gradAgg.Row(u)
+		for j, x := range grow {
+			if v := l.argmax[u*cols+j]; v >= 0 {
+				gradPool.Row(int(v))[j] += x
+			}
+		}
+	}
+	gradPoolPre := tensor.ReLUGrad(l.poolPre, gradPool)
+	tensor.AddInPlace(l.gWpool, tensor.MatMulATB(l.in, gradPoolPre))
+	tensor.AddInPlace(l.gBpool, tensor.BiasGrad(gradPoolPre))
+
+	gradIn := tensor.MatMulABT(gradPoolPre, l.Wpool)
+	gradSelf := tensor.MatMulABT(gradPre, l.Wself)
+	tensor.AddInPlace(selfRows(gradIn, agg.NumOut), gradSelf)
+	return gradIn
+}
+
+// Params returns the trainable parameters.
+func (l *SAGELayer) Params() []*tensor.Matrix {
+	return []*tensor.Matrix{l.Wpool, l.Bpool, l.Wself, l.Wneigh, l.B}
+}
+
+// Grads returns the accumulated gradients, aligned with Params.
+func (l *SAGELayer) Grads() []*tensor.Matrix {
+	return []*tensor.Matrix{l.gWpool, l.gBpool, l.gWself, l.gWneigh, l.gB}
+}
+
+// ZeroGrads clears the gradients.
+func (l *SAGELayer) ZeroGrads() {
+	l.gWpool.Zero()
+	l.gBpool.Zero()
+	l.gWself.Zero()
+	l.gWneigh.Zero()
+	l.gB.Zero()
+}
+
+// FLOPs: pooling GEMM over all rows, max scan over edges, two output GEMMs.
+func (l *SAGELayer) FLOPs(vertices, edges int64) int64 {
+	in, out := int64(l.InDim()), int64(l.OutDim())
+	return 2*vertices*in*out + edges*out + 2*vertices*in*out + 2*vertices*out*out
+}
+
+// SparseFLOPs is the per-edge max scan.
+func (l *SAGELayer) SparseFLOPs(edges int64) int64 { return edges * int64(l.OutDim()) }
+
+// CacheFloatsPerVertex: poolPre + pool + agg + pre (+argmax ids ≈ 1 float).
+func (l *SAGELayer) CacheFloatsPerVertex() int64 {
+	return int64(4*l.OutDim() + 1)
+}

@@ -1,0 +1,143 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"dgcl/internal/graph"
+	"dgcl/internal/tensor"
+)
+
+func TestSAGEMaxPoolKnown(t *testing.T) {
+	// Star: vertex 0 aggregates from 1 and 2.
+	g := graph.MustFromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}}, false)
+	l := NewSAGELayer(1, 2, 1)
+	// Identity-ish pooling: Wpool = [[1, -1]], bias 0, so pool_v =
+	// [relu(h), relu(-h)].
+	l.Wpool.Set(0, 0, 1)
+	l.Wpool.Set(0, 1, -1)
+	agg := NewAggregator(g, 1, false)
+	h := tensor.FromData(3, 1, []float32{0, 5, -7})
+	l.Forward(agg, h)
+	// pool rows: v1 = [5, 0], v2 = [0, 7]; max = [5, 7].
+	if l.agg.At(0, 0) != 5 || l.agg.At(0, 1) != 7 {
+		t.Fatalf("max agg = %v", l.agg.Data)
+	}
+	if l.argmax[0] != 1 || l.argmax[1] != 2 {
+		t.Fatalf("argmax = %v", l.argmax)
+	}
+}
+
+func TestSAGEIsolatedVertexAggregatesZero(t *testing.T) {
+	g := graph.MustFromEdges(2, nil, false)
+	l := NewSAGELayer(2, 3, 2)
+	agg := NewAggregator(g, 2, false)
+	out := l.Forward(agg, tensor.New(2, 2).FillRandom(1))
+	for i := range l.agg.Data {
+		if l.agg.Data[i] != 0 {
+			t.Fatalf("isolated agg = %v", l.agg.Data)
+		}
+	}
+	if out.Rows != 2 {
+		t.Fatal("bad output shape")
+	}
+}
+
+func TestSAGEGradCheck(t *testing.T) {
+	g := graph.Ring(6)
+	layer := NewSAGELayer(3, 4, 42)
+	pushAwayFromKinks(layer)
+	agg := NewAggregator(g, 6, false)
+	features := tensor.New(6, 3).FillRandom(1)
+	target := tensor.New(6, 4).FillRandom(2)
+
+	lossOf := func() float64 {
+		out := layer.Forward(agg, features)
+		loss, _ := MSELossGrad(out, target)
+		return loss
+	}
+	layer.ZeroGrads()
+	out := layer.Forward(agg, features)
+	_, grad := MSELossGrad(out, target)
+	layer.Backward(agg, grad)
+
+	const eps = 1e-2
+	for pi, p := range layer.Params() {
+		gAnalytic := layer.Grads()[pi]
+		for _, idx := range []int{0, len(p.Data) / 2, len(p.Data) - 1} {
+			orig := p.Data[idx]
+			p.Data[idx] = orig + eps
+			lp := lossOf()
+			p.Data[idx] = orig - eps
+			lm := lossOf()
+			p.Data[idx] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := float64(gAnalytic.Data[idx])
+			if math.Abs(numeric-analytic) > 2e-2*(1+math.Abs(numeric)) {
+				t.Fatalf("param %d idx %d: numeric %v analytic %v", pi, idx, numeric, analytic)
+			}
+		}
+	}
+}
+
+func TestSAGEInputGradCheck(t *testing.T) {
+	g := graph.Ring(5)
+	layer := NewSAGELayer(2, 3, 7)
+	pushAwayFromKinks(layer)
+	agg := NewAggregator(g, 5, false)
+	features := tensor.New(5, 2).FillRandom(3)
+	target := tensor.New(5, 3).FillRandom(4)
+
+	layer.ZeroGrads()
+	out := layer.Forward(agg, features)
+	_, grad := MSELossGrad(out, target)
+	gradIn := layer.Backward(agg, grad)
+
+	const eps = 5e-3
+	for _, idx := range []int{0, 3, 9} {
+		orig := features.Data[idx]
+		features.Data[idx] = orig + eps
+		lp, _ := MSELossGrad(layer.Forward(agg, features), target)
+		features.Data[idx] = orig - eps
+		lm, _ := MSELossGrad(layer.Forward(agg, features), target)
+		features.Data[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(gradIn.Data[idx])
+		if math.Abs(numeric-analytic) > 3e-2*(1+math.Abs(numeric)) {
+			t.Fatalf("input grad idx %d: numeric %v analytic %v", idx, numeric, analytic)
+		}
+	}
+}
+
+func TestSAGETrainingReducesLoss(t *testing.T) {
+	g := graph.CommunityGraph(80, 6, 3, 0.8, 9)
+	model := NewModel(GraphSAGE, 6, 6, 2, 21)
+	sd := NewSingleDevice(model, g, 22)
+	features := tensor.New(g.NumVertices(), 6).FillRandom(23)
+	first := sd.Epoch(features)
+	model.Step(0.005)
+	var last float64
+	for i := 0; i < 15; i++ {
+		last = sd.Epoch(features)
+		model.Step(0.005)
+	}
+	if last >= first {
+		t.Fatalf("SAGE loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestSAGEModelKindWiring(t *testing.T) {
+	m := NewModel(GraphSAGE, 4, 5, 2, 1)
+	if _, ok := m.Layers[0].(*SAGELayer); !ok {
+		t.Fatal("GraphSAGE kind should build SAGELayers")
+	}
+	if GraphSAGE.NeedsMeanAggregator() {
+		t.Fatal("SAGE does not use the mean aggregator")
+	}
+	if m.FLOPsPerEpoch(1000, 5000) <= 0 || m.SparseFLOPsPerEpoch(5000) <= 0 {
+		t.Fatal("FLOPs accounting broken")
+	}
+	if m.ActivationFloatsPerVertex(4) <= 0 {
+		t.Fatal("activation accounting broken")
+	}
+}

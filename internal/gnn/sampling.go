@@ -1,0 +1,167 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dgcl/internal/graph"
+	"dgcl/internal/tensor"
+)
+
+// Neighbor-sampled minibatch training, the alternative to full-graph
+// training that §2 of the paper discusses (and sets aside because of its
+// potential accuracy loss — sampled aggregation is a biased estimate for
+// nonlinear models). Implemented GraphSAGE-style: for a batch of seed
+// vertices, each layer samples up to fanout neighbors per destination
+// vertex, producing a stack of bipartite blocks that the existing layers
+// execute unchanged (their aggregator abstraction already computes outputs
+// for a prefix of the input rows).
+
+// Block is one layer's sampled computation graph: the first NumDst input
+// rows are the layer's output vertices, the remaining rows their sampled
+// neighbors; edges run from each destination to its sampled inputs.
+type Block struct {
+	NumDst int
+	Srcs   []int32 // global ids of all input rows (dsts form the prefix)
+	G      *graph.Graph
+}
+
+// MiniBatch is a sampled multi-layer computation: Blocks[0] is the input
+// layer (its Srcs select the feature rows) and Blocks[len-1] outputs exactly
+// the seeds.
+type MiniBatch struct {
+	Seeds  []int32
+	Blocks []*Block
+}
+
+// NeighborSampler samples fixed fan-out neighborhoods.
+type NeighborSampler struct {
+	// FanOuts[l] caps the neighbors sampled per vertex at layer l (input
+	// layer first). 0 or negative means take all neighbors.
+	FanOuts []int
+	rng     *rand.Rand
+}
+
+// NewNeighborSampler builds a sampler with one fan-out per layer.
+func NewNeighborSampler(fanOuts []int, seed int64) *NeighborSampler {
+	return &NeighborSampler{FanOuts: fanOuts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws the computation blocks for the seed batch over g.
+func (s *NeighborSampler) Sample(g *graph.Graph, seeds []int32) (*MiniBatch, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("gnn: empty seed batch")
+	}
+	layers := len(s.FanOuts)
+	if layers == 0 {
+		return nil, fmt.Errorf("gnn: sampler has no fan-outs")
+	}
+	mb := &MiniBatch{Seeds: seeds, Blocks: make([]*Block, layers)}
+	// Build top-down: the last block's destinations are the seeds; each
+	// lower block's destinations are the previous block's inputs.
+	dsts := seeds
+	for l := layers - 1; l >= 0; l-- {
+		fan := s.FanOuts[l]
+		srcs := make([]int32, 0, len(dsts)*2)
+		index := make(map[int32]int32, len(dsts)*2)
+		for _, v := range dsts {
+			index[v] = int32(len(srcs))
+			srcs = append(srcs, v)
+		}
+		var edges []graph.Edge
+		for di, v := range dsts {
+			nbrs := g.Neighbors(v)
+			chosen := nbrs
+			if fan > 0 && len(nbrs) > fan {
+				perm := s.rng.Perm(len(nbrs))[:fan]
+				chosen = make([]int32, fan)
+				for i, pi := range perm {
+					chosen[i] = nbrs[pi]
+				}
+			}
+			for _, u := range chosen {
+				ui, ok := index[u]
+				if !ok {
+					ui = int32(len(srcs))
+					index[u] = ui
+					srcs = append(srcs, u)
+				}
+				edges = append(edges, graph.Edge{Src: int32(di), Dst: ui})
+			}
+		}
+		bg, err := graph.FromEdges(len(srcs), edges, false)
+		if err != nil {
+			return nil, err
+		}
+		mb.Blocks[l] = &Block{NumDst: len(dsts), Srcs: srcs, G: bg}
+		dsts = srcs
+	}
+	return mb, nil
+}
+
+// MinibatchForward runs the model over a sampled minibatch, returning one
+// output row per seed. The mean flag of each aggregator follows the model
+// kind, matching full-graph training semantics (degrees are the *sampled*
+// degrees, which is where sampling's bias comes from).
+func MinibatchForward(m *Model, mb *MiniBatch, features *tensor.Matrix) (*tensor.Matrix, error) {
+	if len(mb.Blocks) != len(m.Layers) {
+		return nil, fmt.Errorf("gnn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers))
+	}
+	h := tensor.GatherRows(features, mb.Blocks[0].Srcs)
+	for l, layer := range m.Layers {
+		blk := mb.Blocks[l]
+		if h.Rows != len(blk.Srcs) {
+			return nil, fmt.Errorf("gnn: layer %d input %d rows, block wants %d", l, h.Rows, len(blk.Srcs))
+		}
+		agg := NewAggregator(blk.G, blk.NumDst, m.Kind.NeedsMeanAggregator())
+		h = layer.Forward(agg, h)
+	}
+	return h, nil
+}
+
+// MinibatchEpoch runs one sampled forward+backward over the seeds and
+// accumulates model gradients; returns the batch loss.
+func MinibatchEpoch(m *Model, mb *MiniBatch, features, targets *tensor.Matrix) (float64, error) {
+	// Forward with cached aggregators for backward.
+	if len(mb.Blocks) != len(m.Layers) {
+		return 0, fmt.Errorf("gnn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers))
+	}
+	aggs := make([]*Aggregator, len(m.Layers))
+	h := tensor.GatherRows(features, mb.Blocks[0].Srcs)
+	for l, layer := range m.Layers {
+		blk := mb.Blocks[l]
+		aggs[l] = NewAggregator(blk.G, blk.NumDst, m.Kind.NeedsMeanAggregator())
+		h = layer.Forward(aggs[l], h)
+	}
+	batchTargets := tensor.GatherRows(targets, mb.Seeds)
+	loss, grad := MSELossGrad(h, batchTargets)
+	for l := len(m.Layers) - 1; l >= 0; l-- {
+		grad = m.Layers[l].Backward(aggs[l], grad)
+	}
+	return loss, nil
+}
+
+// MinibatchEpochFrom is MinibatchEpoch for callers that already assembled
+// the layer-0 input rows (in mb.Blocks[0].Srcs order) and the per-seed
+// targets — the entry point distributed sampled training uses after fetching
+// remote features.
+func MinibatchEpochFrom(m *Model, mb *MiniBatch, h0, batchTargets *tensor.Matrix) (float64, error) {
+	if len(mb.Blocks) != len(m.Layers) {
+		return 0, fmt.Errorf("gnn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers))
+	}
+	if h0.Rows != len(mb.Blocks[0].Srcs) {
+		return 0, fmt.Errorf("gnn: h0 has %d rows, block 0 wants %d", h0.Rows, len(mb.Blocks[0].Srcs))
+	}
+	aggs := make([]*Aggregator, len(m.Layers))
+	h := h0
+	for l, layer := range m.Layers {
+		blk := mb.Blocks[l]
+		aggs[l] = NewAggregator(blk.G, blk.NumDst, m.Kind.NeedsMeanAggregator())
+		h = layer.Forward(aggs[l], h)
+	}
+	loss, grad := MSELossGrad(h, batchTargets)
+	for l := len(m.Layers) - 1; l >= 0; l-- {
+		grad = m.Layers[l].Backward(aggs[l], grad)
+	}
+	return loss, nil
+}

@@ -1,0 +1,155 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"dgcl/internal/graph"
+	"dgcl/internal/tensor"
+)
+
+func TestSampleBlockStructure(t *testing.T) {
+	g := graph.Ring(12)
+	s := NewNeighborSampler([]int{2, 2}, 1)
+	seeds := []int32{0, 6}
+	mb, err := s.Sample(g, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mb.Blocks) != 2 {
+		t.Fatalf("blocks=%d", len(mb.Blocks))
+	}
+	top := mb.Blocks[1]
+	if top.NumDst != 2 || top.Srcs[0] != 0 || top.Srcs[1] != 6 {
+		t.Fatalf("top block dsts wrong: %+v", top)
+	}
+	// Bottom block's destinations are exactly the top block's inputs.
+	bottom := mb.Blocks[0]
+	if bottom.NumDst != len(top.Srcs) {
+		t.Fatalf("block chaining broken: %d vs %d", bottom.NumDst, len(top.Srcs))
+	}
+	for i := range top.Srcs {
+		if bottom.Srcs[i] != top.Srcs[i] {
+			t.Fatal("dst prefix mismatch")
+		}
+	}
+	// Fan-out respected.
+	for u := 0; u < top.NumDst; u++ {
+		if top.G.Degree(int32(u)) > 2 {
+			t.Fatalf("fanout exceeded: %d", top.G.Degree(int32(u)))
+		}
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	g := graph.Ring(4)
+	if _, err := NewNeighborSampler([]int{2}, 1).Sample(g, nil); err == nil {
+		t.Fatal("empty seeds must fail")
+	}
+	if _, err := NewNeighborSampler(nil, 1).Sample(g, []int32{0}); err == nil {
+		t.Fatal("no fanouts must fail")
+	}
+}
+
+func TestUnlimitedFanoutMatchesFullGraph(t *testing.T) {
+	// With fan-out 0 (take all neighbors), the sampled forward must equal
+	// the full-graph forward restricted to the seeds — sampling's bias comes
+	// only from dropped neighbors.
+	g := graph.CommunityGraph(80, 6, 3, 0.8, 3)
+	m := NewModel(GCN, 5, 4, 2, 9)
+	features := tensor.New(g.NumVertices(), 5).FillRandom(10)
+
+	sd := NewSingleDevice(m.Clone(), g, 0)
+	fullOut, _ := sd.Forward(features)
+
+	seeds := []int32{0, 5, 17, 42}
+	mb, err := NewNeighborSampler([]int{0, 0}, 1).Sample(g, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MinibatchForward(m.Clone(), mb, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seeds {
+		for j := 0; j < 4; j++ {
+			if d := math.Abs(float64(out.At(i, j) - fullOut.At(int(v), j))); d > 1e-4 {
+				t.Fatalf("seed %d col %d: sampled %v vs full %v", v, j, out.At(i, j), fullOut.At(int(v), j))
+			}
+		}
+	}
+}
+
+func TestSampledForwardIsBiasedUnderTruncation(t *testing.T) {
+	// With tiny fan-out the sampled estimate deviates from the full-graph
+	// output on dense graphs — the accuracy-loss concern that makes the
+	// paper choose full-graph training.
+	g := graph.CommunityGraph(120, 16, 3, 0.8, 4)
+	m := NewModel(GCN, 5, 4, 2, 9)
+	features := tensor.New(g.NumVertices(), 5).FillRandom(10)
+	sd := NewSingleDevice(m.Clone(), g, 0)
+	fullOut, _ := sd.Forward(features)
+
+	seeds := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	mb, err := NewNeighborSampler([]int{1, 1}, 2).Sample(g, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MinibatchForward(m.Clone(), mb, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxDev float64
+	for i, v := range seeds {
+		for j := 0; j < 4; j++ {
+			if d := math.Abs(float64(out.At(i, j) - fullOut.At(int(v), j))); d > maxDev {
+				maxDev = d
+			}
+		}
+	}
+	if maxDev < 1e-4 {
+		t.Fatalf("fan-out-1 sampling should deviate from full aggregation, max dev %v", maxDev)
+	}
+}
+
+func TestMinibatchTrainingReducesLoss(t *testing.T) {
+	g := graph.CommunityGraph(100, 8, 4, 0.8, 5)
+	m := NewModel(GCN, 6, 5, 2, 11)
+	features := tensor.New(g.NumVertices(), 6).FillRandom(12)
+	targets := tensor.New(g.NumVertices(), 5).FillRandom(13)
+	sampler := NewNeighborSampler([]int{4, 4}, 14)
+	seeds := make([]int32, 0, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		seeds = append(seeds, int32(v))
+	}
+	lossOf := func() float64 {
+		mb, err := sampler.Sample(g, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, err := MinibatchEpoch(m, mb, features, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	first := lossOf()
+	m.Step(0.005)
+	var last float64
+	for i := 0; i < 20; i++ {
+		last = lossOf()
+		m.Step(0.005)
+	}
+	if last >= first {
+		t.Fatalf("minibatch training did not progress: %v -> %v", first, last)
+	}
+}
+
+func TestMinibatchLayerMismatch(t *testing.T) {
+	g := graph.Ring(10)
+	m := NewModel(GCN, 4, 4, 2, 1)
+	mb, _ := NewNeighborSampler([]int{2}, 1).Sample(g, []int32{0})
+	if _, err := MinibatchForward(m, mb, tensor.New(10, 4)); err == nil {
+		t.Fatal("block/layer count mismatch must fail")
+	}
+}

@@ -1,0 +1,79 @@
+package graph
+
+import "fmt"
+
+// Dataset describes one of the paper's four evaluation graphs (Table 4)
+// together with the model dimensions used for it.
+type Dataset struct {
+	Name       string
+	Vertices   int     // full-size vertex count
+	Edges      int64   // full-size directed edge count
+	AvgDegree  float64 // Table 4
+	FeatureDim int     // input feature size
+	HiddenDim  int     // hidden layer size
+	Dense      bool    // community-structured (Reddit, Com-Orkut) vs power-law sparse
+}
+
+// The four datasets from Table 4 of the paper.
+var (
+	Reddit    = Dataset{Name: "Reddit", Vertices: 230_000, Edges: 110_000_000, AvgDegree: 478, FeatureDim: 602, HiddenDim: 256, Dense: true}
+	ComOrkut  = Dataset{Name: "Com-Orkut", Vertices: 3_070_000, Edges: 117_000_000, AvgDegree: 38.1, FeatureDim: 128, HiddenDim: 128, Dense: true}
+	WebGoogle = Dataset{Name: "Web-Google", Vertices: 870_000, Edges: 5_100_000, AvgDegree: 5.86, FeatureDim: 256, HiddenDim: 256, Dense: false}
+	WikiTalk  = Dataset{Name: "Wiki-Talk", Vertices: 2_390_000, Edges: 5_000_000, AvgDegree: 2.09, FeatureDim: 256, HiddenDim: 256, Dense: false}
+)
+
+// AllDatasets lists the paper's datasets in the order they appear in Table 4.
+var AllDatasets = []Dataset{Reddit, ComOrkut, WebGoogle, WikiTalk}
+
+// DatasetByName returns the dataset with the given (case-sensitive) name.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range AllDatasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("graph: unknown dataset %q", name)
+}
+
+// Generate synthesizes a graph matching the dataset's statistics at 1/scale
+// size: vertices and edges are divided by scale while the average degree is
+// preserved as closely as possible. scale=1 produces the full-size graph.
+// Generation is deterministic for a given (dataset, scale, seed).
+func (d Dataset) Generate(scale int, seed int64) *Graph {
+	if scale < 1 {
+		scale = 1
+	}
+	n := d.Vertices / scale
+	if n < 64 {
+		n = 64
+	}
+	m := int64(float64(n) * d.AvgDegree)
+	switch d.Name {
+	case Reddit.Name:
+		// Post-to-post graph: very dense with strong community structure.
+		return CommunityGraph(n, d.AvgDegree, max(8, n/600), 0.85, seed)
+	case ComOrkut.Name:
+		// Social network: dense-ish communities, moderate degree.
+		return CommunityGraph(n, d.AvgDegree, max(16, n/2000), 0.75, seed^0x6f726b)
+	case WebGoogle.Name:
+		// Web graph: sparse power law with strong link locality (web sites
+		// link within their neighborhood), so k-hop neighborhoods grow
+		// slowly and METIS finds small cuts — both essential to the paper's
+		// Web-Google results (Figure 4, Figure 7).
+		return LocalityGraph(n, d.AvgDegree, seed^0x676f6f)
+	case WikiTalk.Name:
+		// Interaction graph: very sparse but condensed onto Θ(n)-degree hub
+		// users, so 2-hop replication covers nearly the whole graph (the
+		// reason Replication OOMs on Wiki-Talk in Figure 7).
+		return SuperlinearPA(n, seed^0x77696b)
+	default:
+		return RMAT(n, m, 0.57, 0.19, 0.19, seed)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

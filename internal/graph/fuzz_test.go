@@ -1,0 +1,34 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: the SNAP parser must never panic, and any successfully
+// parsed graph must round-trip through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n")
+	f.Add("# comment\n10\t20\n")
+	f.Add("")
+	f.Add("a b\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, _, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, _, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reread failed: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("roundtrip changed shape")
+		}
+	})
+}

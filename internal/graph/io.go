@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list I/O in the SNAP text format the paper's datasets ship in: one
+// "src<TAB>dst" pair per line, '#' comments ignored. Vertex ids may be
+// arbitrary non-negative integers; they are densified on read.
+
+// ReadEdgeList parses a SNAP-style edge list. Vertex ids are remapped to a
+// dense [0,n) range in first-appearance order; the mapping is returned so
+// callers can translate back. Malformed lines produce an error naming the
+// line number.
+func ReadEdgeList(r io.Reader) (*Graph, map[int64]int32, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	remap := make(map[int64]int32)
+	var edges []Edge
+	intern := func(raw int64) int32 {
+		if id, ok := remap[raw]; ok {
+			return id
+		}
+		id := int32(len(remap))
+		remap[raw] = id
+		return id
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: want 'src dst', got %q", lineNo, line)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad src %q: %v", lineNo, fields[0], err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad dst %q: %v", lineNo, fields[1], err)
+		}
+		if src < 0 || dst < 0 {
+			return nil, nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		edges = append(edges, Edge{intern(src), intern(dst)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: read: %w", err)
+	}
+	g, err := FromEdges(len(remap), edges, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, remap, nil
+}
+
+// WriteEdgeList emits the graph as a SNAP-style edge list with a header
+// comment.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# Nodes: %d Edges: %d\n", g.NumVertices(), g.NumEdges())
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			fmt.Fprintf(bw, "%d\t%d\n", u, v)
+		}
+	}
+	return bw.Flush()
+}
+
+// Subsample returns the subgraph induced on a deterministic pseudo-random
+// fraction of the vertices (hash-based so no RNG state is needed), together
+// with the kept vertex ids. Useful for scaling down real edge lists the way
+// the generators scale down the synthetic ones.
+func Subsample(g *Graph, frac float64) (*Graph, []int32) {
+	if frac >= 1 {
+		all := make([]int32, g.NumVertices())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		sub, _ := g.InducedSubgraph(all)
+		return sub, all
+	}
+	threshold := uint32(frac * float64(1<<32-1))
+	var keep []int32
+	for v := 0; v < g.NumVertices(); v++ {
+		// xorshift-style hash of the vertex id.
+		h := uint32(v) * 2654435761
+		h ^= h >> 16
+		h *= 2246822519
+		h ^= h >> 13
+		if h <= threshold {
+			keep = append(keep, int32(v))
+		}
+	}
+	sub, orig := g.InducedSubgraph(keep)
+	return sub, orig
+}

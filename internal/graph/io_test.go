@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# comment line
+10	20
+20	30
+
+10	30
+`
+	g, remap, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if remap[10] != 0 || remap[20] != 1 || remap[30] != 2 {
+		t.Fatalf("remap=%v", remap)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(0, 2) {
+		t.Fatal("edges missing after remap")
+	}
+}
+
+func TestReadEdgeListDedups(t *testing.T) {
+	g, _, err := ReadEdgeList(strings.NewReader("1 2\n1 2\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges=%d want deduped 1", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"justonefield\n",
+		"a b\n",
+		"1 b\n",
+		"-1 2\n",
+	}
+	for _, c := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := Grid2D(5, 5)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, remap, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip changed shape: %d/%d vs %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	// Ids are remapped by first appearance; translate through the mapping.
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if !g2.HasEdge(remap[int64(u)], remap[int64(v)]) {
+				t.Fatalf("edge (%d,%d) lost in roundtrip", u, v)
+			}
+		}
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	g := ErdosRenyi(1000, 5000, 1)
+	sub, orig := Subsample(g, 0.3)
+	if sub.NumVertices() != len(orig) {
+		t.Fatal("size mismatch")
+	}
+	frac := float64(sub.NumVertices()) / float64(g.NumVertices())
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("kept fraction %f far from 0.3", frac)
+	}
+	// Deterministic.
+	sub2, _ := Subsample(g, 0.3)
+	if sub2.NumVertices() != sub.NumVertices() {
+		t.Fatal("subsample not deterministic")
+	}
+	// frac >= 1 keeps everything.
+	all, _ := Subsample(g, 1.0)
+	if all.NumVertices() != g.NumVertices() || all.NumEdges() != g.NumEdges() {
+		t.Fatal("frac=1 should keep the whole graph")
+	}
+}

@@ -1,0 +1,99 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"dgcl/internal/graph"
+)
+
+func TestCommVolumeOnRing(t *testing.T) {
+	g := graph.Ring(8)
+	p := Range(g, 4)
+	// Each part references 2 remote vertices.
+	if got := CommVolume(g, p); got != 8 {
+		t.Fatalf("CommVolume=%d want 8", got)
+	}
+}
+
+func TestCommVolumeDedupsMultiEdges(t *testing.T) {
+	// Two vertices in part 0 both reference the same remote vertex: counts
+	// once, while the edge cut counts twice.
+	g := graph.MustFromEdges(3, []graph.Edge{{Src: 0, Dst: 2}, {Src: 1, Dst: 2}}, false)
+	p := &Partition{K: 2, Assign: []int32{0, 0, 1}}
+	if got := CommVolume(g, p); got != 1 {
+		t.Fatalf("CommVolume=%d want 1", got)
+	}
+	if p.EdgeCut(g) != 2 {
+		t.Fatal("edge cut should be 2")
+	}
+}
+
+func TestReplicationHalo(t *testing.T) {
+	g := graph.Ring(8)
+	p := Range(g, 4)
+	halo := ReplicationHalo(g, p)
+	for d, h := range halo {
+		if h != 2 {
+			t.Fatalf("part %d halo %d want 2", d, h)
+		}
+	}
+}
+
+func TestEvaluateAndString(t *testing.T) {
+	g := graph.Grid2D(10, 10)
+	p, err := KWay(g, 4, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(g, p)
+	if q.EdgeCut <= 0 || q.CommVolume <= 0 || q.Balance < 1 {
+		t.Fatalf("quality %+v", q)
+	}
+	if q.CutPercent <= 0 || q.CutPercent >= 100 {
+		t.Fatalf("cut percent %v", q.CutPercent)
+	}
+	if !strings.Contains(q.String(), "balance") {
+		t.Fatal("String missing fields")
+	}
+}
+
+func TestStreamingPartitioner(t *testing.T) {
+	g := graph.Grid2D(24, 24)
+	p := Streaming(g, 4, 1)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if b := p.Balance(); b > 1.25 {
+		t.Fatalf("LDG balance %f too loose", b)
+	}
+	// Quality sits between hash and multilevel on structured graphs.
+	hashCut := Hash(g, 4).EdgeCut(g)
+	ldgCut := p.EdgeCut(g)
+	ml, err := KWay(g, 4, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlCut := ml.EdgeCut(g)
+	if ldgCut >= hashCut {
+		t.Fatalf("LDG cut %d should beat hash %d", ldgCut, hashCut)
+	}
+	if mlCut > ldgCut {
+		// Multilevel should be at least as good; it is allowed to tie.
+		t.Logf("note: multilevel %d vs LDG %d", mlCut, ldgCut)
+	}
+}
+
+func TestStreamingDeterministic(t *testing.T) {
+	g := graph.CommunityGraph(400, 10, 4, 0.8, 3)
+	a := Streaming(g, 4, 7)
+	b := Streaming(g, 4, 7)
+	for v := range a.Assign {
+		if a.Assign[v] != b.Assign[v] {
+			t.Fatal("same seed must give same streaming partition")
+		}
+	}
+	if Streaming(g, 0, 1).K != 1 {
+		t.Fatal("k<1 should clamp to 1")
+	}
+}

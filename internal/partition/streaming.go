@@ -1,0 +1,49 @@
+package partition
+
+import (
+	"math/rand"
+
+	"dgcl/internal/graph"
+)
+
+// Streaming implements the linear deterministic greedy (LDG) streaming
+// partitioner: vertices arrive one at a time (in randomized order) and each
+// goes to the part with the most already-placed neighbors, discounted by
+// how full the part is. One pass, O(|E|), no coarsening — the quality point
+// between hash and multilevel that streaming systems use when the graph
+// cannot be held in memory.
+func Streaming(g *graph.Graph, k int, seed int64) *Partition {
+	n := g.NumVertices()
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	if k < 1 {
+		k = 1
+	}
+	capacity := float64(n)/float64(k) + 1
+	sizes := make([]float64, k)
+	order := rand.New(rand.NewSource(seed)).Perm(n)
+	scores := make([]float64, k)
+	for _, vi := range order {
+		v := int32(vi)
+		for p := range scores {
+			scores[p] = 0
+		}
+		for _, u := range g.Neighbors(v) {
+			if a := assign[u]; a >= 0 {
+				scores[a]++
+			}
+		}
+		best, bestScore := 0, -1.0
+		for p := 0; p < k; p++ {
+			s := (scores[p] + 1) * (1 - sizes[p]/capacity)
+			if s > bestScore {
+				best, bestScore = p, s
+			}
+		}
+		assign[v] = int32(best)
+		sizes[best]++
+	}
+	return &Partition{K: k, Assign: assign}
+}

@@ -1,0 +1,123 @@
+package runtime
+
+import (
+	"testing"
+
+	"dgcl/internal/gnn"
+	"dgcl/internal/graph"
+	"dgcl/internal/partition"
+	"dgcl/internal/tensor"
+	"dgcl/internal/topology"
+)
+
+func sampledFixture(t *testing.T) (*SampledTrainer, *graph.Graph, [][]int32) {
+	t.Helper()
+	g := graph.CommunityGraph(240, 10, 4, 0.8, 91)
+	p, err := partition.KWay(g, 4, partition.Options{Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := gnn.NewModel(gnn.GCN, 6, 5, 2, 92)
+	features := tensor.New(g.NumVertices(), 6).FillRandom(93)
+	targets := tensor.New(g.NumVertices(), 5).FillRandom(94)
+	sampler := gnn.NewNeighborSampler([]int{4, 4}, 95)
+	st, err := NewSampledTrainer(topology.SubDGX1(4), g, p.Assign, model, features, targets, sampler, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed batches: every GPU trains all of its own vertices.
+	seeds := make([][]int32, 4)
+	for d := 0; d < 4; d++ {
+		seeds[d] = st.Local[d]
+	}
+	return st, g, seeds
+}
+
+func TestSampledStepRunsAndPlansFetch(t *testing.T) {
+	st, _, seeds := sampledFixture(t)
+	loss, plan, err := st.Step(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Fatal("loss must be positive")
+	}
+	if plan == nil || plan.Algorithm != "spst" {
+		t.Fatalf("fetch should be SPST-planned, got %v", plan)
+	}
+	// The fetch moves only sampled layer-0 features: far less than the
+	// full-graph relation would.
+	if plan.TotalBytes() == 0 {
+		t.Fatal("cross-GPU batches must fetch something")
+	}
+}
+
+func TestSampledTrainingConverges(t *testing.T) {
+	st, _, seeds := sampledFixture(t)
+	first, _, err := st.Step(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Apply(0.003)
+	var last float64
+	for i := 0; i < 12; i++ {
+		last, _, err = st.Step(seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Apply(0.003)
+	}
+	if last >= first {
+		t.Fatalf("sampled distributed training did not progress: %v -> %v", first, last)
+	}
+}
+
+func TestSampledReplicasStayIdentical(t *testing.T) {
+	st, _, seeds := sampledFixture(t)
+	if _, _, err := st.Step(seeds); err != nil {
+		t.Fatal(err)
+	}
+	st.Apply(0.01)
+	for d := 1; d < 4; d++ {
+		for li := range st.Models[0].Layers {
+			for pi, p0 := range st.Models[0].Layers[li].Params() {
+				pd := st.Models[d].Layers[li].Params()[pi]
+				if diff := tensor.MaxAbsDiff(p0, pd); diff > 1e-5 {
+					t.Fatalf("replica %d layer %d param %d drifted by %v", d, li, pi, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestSampledErrors(t *testing.T) {
+	g := graph.Ring(16)
+	p, _ := partition.KWay(g, 4, partition.Options{Seed: 1})
+	model := gnn.NewModel(gnn.GCN, 4, 4, 2, 1)
+	features := tensor.New(16, 4)
+	targets := tensor.New(16, 4)
+	sampler := gnn.NewNeighborSampler([]int{2, 2}, 1)
+	if _, err := NewSampledTrainer(topology.SubDGX1(4), g, []int32{0}, model, features, targets, sampler, 1); err == nil {
+		t.Fatal("owner length mismatch must fail")
+	}
+	bad := make([]int32, 16)
+	bad[3] = 99
+	if _, err := NewSampledTrainer(topology.SubDGX1(4), g, bad, model, features, targets, sampler, 1); err == nil {
+		t.Fatal("invalid owner must fail")
+	}
+	st, err := NewSampledTrainer(topology.SubDGX1(4), g, p.Assign, model, features, targets, sampler, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Step([][]int32{{0}}); err == nil {
+		t.Fatal("batch count mismatch must fail")
+	}
+	// Training a seed the GPU does not own must fail.
+	foreign := make([][]int32, 4)
+	for d := 0; d < 4; d++ {
+		foreign[d] = st.Local[(d+1)%4][:1]
+	}
+	if _, _, err := st.Step(foreign); err == nil {
+		t.Fatal("foreign seed must fail")
+	}
+}

@@ -1,0 +1,75 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// CommStats counts actual data movement performed by the runtime, per GPU.
+// Counters are updated atomically so concurrent clients can report while
+// running; they accumulate across allgathers until Reset.
+type CommStats struct {
+	k            int
+	sentBytes    []atomic.Int64
+	recvBytes    []atomic.Int64
+	sentMsgs     []atomic.Int64
+	recvMsgs     []atomic.Int64
+	relayedBytes []atomic.Int64
+}
+
+// NewCommStats allocates counters for k GPUs.
+func NewCommStats(k int) *CommStats {
+	return &CommStats{
+		k:         k,
+		sentBytes: make([]atomic.Int64, k), recvBytes: make([]atomic.Int64, k),
+		sentMsgs: make([]atomic.Int64, k), recvMsgs: make([]atomic.Int64, k),
+		relayedBytes: make([]atomic.Int64, k),
+	}
+}
+
+// Reset zeroes every counter.
+func (s *CommStats) Reset() {
+	for d := 0; d < s.k; d++ {
+		s.sentBytes[d].Store(0)
+		s.recvBytes[d].Store(0)
+		s.sentMsgs[d].Store(0)
+		s.recvMsgs[d].Store(0)
+		s.relayedBytes[d].Store(0)
+	}
+}
+
+// Sent returns (bytes, messages) GPU d has sent.
+func (s *CommStats) Sent(d int) (int64, int64) {
+	return s.sentBytes[d].Load(), s.sentMsgs[d].Load()
+}
+
+// Received returns (bytes, messages) GPU d has received.
+func (s *CommStats) Received(d int) (int64, int64) {
+	return s.recvBytes[d].Load(), s.recvMsgs[d].Load()
+}
+
+// Relayed returns the bytes GPU d sent on behalf of other owners.
+func (s *CommStats) Relayed(d int) int64 { return s.relayedBytes[d].Load() }
+
+// TotalBytes returns all bytes sent across the cluster.
+func (s *CommStats) TotalBytes() int64 {
+	var t int64
+	for d := 0; d < s.k; d++ {
+		t += s.sentBytes[d].Load()
+	}
+	return t
+}
+
+// String renders a per-GPU summary.
+func (s *CommStats) String() string {
+	out := ""
+	for d := 0; d < s.k; d++ {
+		sb, sm := s.Sent(d)
+		rb, rm := s.Received(d)
+		out += fmt.Sprintf("gpu%d: sent %d B in %d msgs (relayed %d B), received %d B in %d msgs\n",
+			d, sb, sm, s.Relayed(d), rb, rm)
+	}
+	return out
+}
+
+// statsTest helpers live in cluster_test.go.

@@ -1,0 +1,99 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"dgcl/internal/comm"
+	"dgcl/internal/core"
+	"dgcl/internal/graph"
+	"dgcl/internal/tensor"
+)
+
+func TestCommStatsAccounting(t *testing.T) {
+	g := graph.CommunityGraph(300, 10, 4, 0.8, 71)
+	c, rel := setup(t, g, 4, 71, 32)
+	c.Stats = NewCommStats(4)
+	cols := 8
+	local := make([]*tensor.Matrix, 4)
+	for d := 0; d < 4; d++ {
+		local[d] = tensor.New(len(rel.Local[d]), cols).FillRandom(int64(d))
+	}
+	if _, err := c.Allgather(local); err != nil {
+		t.Fatal(err)
+	}
+	// Total sent equals the plan's byte volume at this embedding width.
+	want := int64(0)
+	for _, st := range c.Plan.Stages {
+		for _, tr := range st {
+			want += int64(len(tr.Vertices)) * int64(cols) * 4
+		}
+	}
+	if got := c.Stats.TotalBytes(); got != want {
+		t.Fatalf("sent %d want %d", got, want)
+	}
+	// Received equals sent in aggregate.
+	var recv int64
+	for d := 0; d < 4; d++ {
+		rb, _ := c.Stats.Received(d)
+		recv += rb
+	}
+	if recv != want {
+		t.Fatalf("received %d want %d", recv, want)
+	}
+	// The rendered summary mentions every GPU.
+	s := c.Stats.String()
+	for _, tag := range []string{"gpu0", "gpu3"} {
+		if !strings.Contains(s, tag) {
+			t.Fatalf("summary missing %s:\n%s", tag, s)
+		}
+	}
+	c.Stats.Reset()
+	if c.Stats.TotalBytes() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCommStatsRelayAccounting(t *testing.T) {
+	// Relay chain: GPU0 owns v0, needed by GPUs 2 and 3; the plan forwards
+	// 0->1->2->3, so GPUs 1 and 2 relay a vertex they do not own.
+	rel := &comm.Relation{
+		K:      4,
+		Owner:  []int32{0, 1, 2, 3},
+		Local:  [][]int32{{0}, {1}, {2}, {3}},
+		Remote: [][]int32{nil, nil, {0}, {0}},
+		Send:   make([][][]int32, 4),
+	}
+	for i := range rel.Send {
+		rel.Send[i] = make([][]int32, 4)
+	}
+	rel.Send[0][2] = []int32{0}
+	rel.Send[0][3] = []int32{0}
+	plan := core.NewPlan(4, 4, "relay")
+	plan.Stages = [][]core.Transfer{
+		{{Src: 0, Dst: 1, Vertices: []int32{0}}},
+		{{Src: 1, Dst: 2, Vertices: []int32{0}}},
+		{{Src: 2, Dst: 3, Vertices: []int32{0}}},
+	}
+	g := graph.MustFromEdges(4, []graph.Edge{{Src: 2, Dst: 0}, {Src: 3, Dst: 0}}, false)
+	c, err := NewCluster(rel, comm.BuildLocalGraphs(g, rel), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stats = NewCommStats(4)
+	local := []*tensor.Matrix{
+		tensor.FromData(1, 1, []float32{42}),
+		tensor.FromData(1, 1, []float32{1}),
+		tensor.FromData(1, 1, []float32{2}),
+		tensor.FromData(1, 1, []float32{3}),
+	}
+	if _, err := c.Allgather(local); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.Relayed(0) != 0 {
+		t.Fatal("owner send must not count as relay")
+	}
+	if c.Stats.Relayed(1) != 4 || c.Stats.Relayed(2) != 4 {
+		t.Fatalf("relay bytes: gpu1=%d gpu2=%d want 4 each", c.Stats.Relayed(1), c.Stats.Relayed(2))
+	}
+}

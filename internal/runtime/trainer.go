@@ -1,0 +1,205 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"dgcl/internal/collective"
+	"dgcl/internal/gnn"
+	"dgcl/internal/tensor"
+)
+
+// Trainer runs distributed full-graph GNN training on a Cluster: every
+// client holds a replica of the model, its graph partition, and its slice of
+// the features and targets. Each layer's execution interleaves a
+// graphAllgather (remote embeddings in), local single-GPU layer compute, and
+// in the backward pass a reverse allgather (remote gradients out), exactly
+// the §6.3 integration. Model gradients are allreduced (summed) across
+// clients before every optimizer step so replicas stay identical.
+type Trainer struct {
+	Cluster  *Cluster
+	Models   []*gnn.Model
+	Aggs     []*gnn.Aggregator
+	Features []*tensor.Matrix
+	Targets  []*tensor.Matrix
+	// CacheFeatures enables the §3 strategy (1): the layer-0 embeddings of
+	// remote vertices never change across epochs, so they are allgathered
+	// once and cached, eliminating the first (widest) allgather of every
+	// epoch at the price of storing the remote features.
+	CacheFeatures bool
+	cachedLayer0  []*tensor.Matrix
+}
+
+// NewTrainer shards the global features/targets across the cluster's
+// partitions (the dispatch_features step of Listing 1) and replicates the
+// model onto every client.
+func NewTrainer(c *Cluster, model *gnn.Model, features, targets *tensor.Matrix) (*Trainer, error) {
+	tr := &Trainer{Cluster: c}
+	for d := 0; d < c.K; d++ {
+		lg := c.Locals[d]
+		tr.Models = append(tr.Models, model.Clone())
+		tr.Aggs = append(tr.Aggs, gnn.NewAggregator(lg.G, lg.NumLocal, model.Kind.NeedsMeanAggregator()))
+		tr.Features = append(tr.Features, tensor.GatherRows(features, c.Rel.Local[d]))
+		tr.Targets = append(tr.Targets, tensor.GatherRows(targets, c.Rel.Local[d]))
+	}
+	return tr, nil
+}
+
+// layer0Full returns the allgathered layer-0 embeddings, from the cache when
+// feature caching is on.
+func (tr *Trainer) layer0Full() ([]*tensor.Matrix, error) {
+	if tr.CacheFeatures && tr.cachedLayer0 != nil {
+		return tr.cachedLayer0, nil
+	}
+	full, err := tr.Cluster.Allgather(tr.Features)
+	if err != nil {
+		return nil, err
+	}
+	if tr.CacheFeatures {
+		tr.cachedLayer0 = full
+	}
+	return full, nil
+}
+
+// Epoch runs one distributed forward+backward pass, allreduces the model
+// gradients, and returns the global loss. Layer compute runs concurrently on
+// all clients; allgathers synchronize them, as on real hardware.
+func (tr *Trainer) Epoch() (float64, error) {
+	c := tr.Cluster
+	numLayers := len(tr.Models[0].Layers)
+	// Forward: per layer, allgather then concurrent local layer compute.
+	h := tr.Features
+	for l := 0; l < numLayers; l++ {
+		var full []*tensor.Matrix
+		var err error
+		if l == 0 {
+			full, err = tr.layer0Full()
+		} else {
+			full, err = c.Allgather(h)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("runtime: forward allgather layer %d: %w", l, err)
+		}
+		next := make([]*tensor.Matrix, c.K)
+		var wg sync.WaitGroup
+		for d := 0; d < c.K; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				next[d] = tr.Models[d].Layers[l].Forward(tr.Aggs[d], full[d])
+			}(d)
+		}
+		wg.Wait()
+		h = next
+	}
+	// Loss on local outputs.
+	losses := make([]float64, c.K)
+	grads := make([]*tensor.Matrix, c.K)
+	for d := 0; d < c.K; d++ {
+		losses[d], grads[d] = gnn.MSELossGrad(h[d], tr.Targets[d])
+	}
+	var loss float64
+	for _, l := range losses {
+		loss += l
+	}
+	// Backward: per layer, concurrent local backward then reverse allgather.
+	// The gradient with respect to the layer-0 input features is discarded
+	// (features are not trained), so the final backward allgather is skipped
+	// — a 2-layer epoch communicates 2 forward + 1 backward allgathers.
+	for l := numLayers - 1; l >= 0; l-- {
+		gradFull := make([]*tensor.Matrix, c.K)
+		var wg sync.WaitGroup
+		for d := 0; d < c.K; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				gradFull[d] = tr.Models[d].Layers[l].Backward(tr.Aggs[d], grads[d])
+			}(d)
+		}
+		wg.Wait()
+		if l == 0 {
+			break
+		}
+		var err error
+		grads, err = c.BackwardAllgather(gradFull)
+		if err != nil {
+			return 0, fmt.Errorf("runtime: backward allgather layer %d: %w", l, err)
+		}
+	}
+	tr.allreduceGrads()
+	return loss, nil
+}
+
+// allreduceGrads synchronizes every parameter gradient across clients with a
+// ring allreduce (the model-synchronization step DGCL delegates to Horovod /
+// PyTorch DDP, §6.3; GNN models are small so no further optimization is
+// needed). Gradients of one layer/param are reduced together as one buffer.
+func (tr *Trainer) allreduceGrads() {
+	numLayers := len(tr.Models[0].Layers)
+	bufs := make([]*tensor.Matrix, tr.Cluster.K)
+	for l := 0; l < numLayers; l++ {
+		numParams := len(tr.Models[0].Layers[l].Grads())
+		for p := 0; p < numParams; p++ {
+			for d := 0; d < tr.Cluster.K; d++ {
+				bufs[d] = tr.Models[d].Layers[l].Grads()[p]
+			}
+			// Same-shaped replicas by construction; the ring cannot fail.
+			if err := collective.RingAllreduce(bufs); err != nil {
+				panic(fmt.Sprintf("runtime: gradient allreduce: %v", err))
+			}
+		}
+	}
+}
+
+// Step applies one SGD step on every replica (identical because gradients
+// were allreduced).
+func (tr *Trainer) Step(lr float32) {
+	for _, m := range tr.Models {
+		m.Step(lr)
+	}
+}
+
+// StepWith applies one optimizer step per replica. opts must hold one
+// optimizer per GPU (each keeps its own moment state; replicas stay
+// identical because gradients are allreduced before stepping).
+func (tr *Trainer) StepWith(opts []gnn.Optimizer) error {
+	if len(opts) != len(tr.Models) {
+		return fmt.Errorf("runtime: %d optimizers for %d replicas", len(opts), len(tr.Models))
+	}
+	for d, m := range tr.Models {
+		opts[d].Step(m)
+	}
+	return nil
+}
+
+// GatherOutput reassembles per-client local rows into a global matrix using
+// the partition's vertex ordering (for verification against single-device
+// training).
+func (tr *Trainer) GatherOutput(local []*tensor.Matrix, globalRows int) *tensor.Matrix {
+	out := tensor.New(globalRows, local[0].Cols)
+	for d, m := range local {
+		for i, v := range tr.Cluster.Rel.Local[d] {
+			copy(out.Row(int(v)), m.Row(i))
+		}
+	}
+	return out
+}
+
+// Forward runs only the forward passes and returns the global output matrix,
+// for inference-style verification.
+func (tr *Trainer) Forward(globalRows int) (*tensor.Matrix, error) {
+	c := tr.Cluster
+	h := tr.Features
+	for l := 0; l < len(tr.Models[0].Layers); l++ {
+		full, err := c.Allgather(h)
+		if err != nil {
+			return nil, err
+		}
+		next := make([]*tensor.Matrix, c.K)
+		for d := 0; d < c.K; d++ {
+			next[d] = tr.Models[d].Layers[l].Forward(tr.Aggs[d], full[d])
+		}
+		h = next
+	}
+	return tr.GatherOutput(h, globalRows), nil
+}

@@ -1,0 +1,54 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the flow timeline as an ASCII chart, one row per flow,
+// grouped by stage — the quickest way to see stage structure, stragglers
+// and idle links when inspecting a plan with dgclplan.
+//
+//	stage 1 gpu0->gpu3  [#########               ]  32.1us
+//	stage 1 gpu2->gpu6  [############            ]  41.8us
+//	stage 2 gpu3->gpu7  [            ########    ]  28.9us
+func (t *Trace) Gantt(width int) string {
+	if len(t.Flows) == 0 {
+		return "(no flows)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	total := t.TotalTime
+	if total <= 0 {
+		total = 1e-12
+	}
+	flows := make([]FlowTrace, len(t.Flows))
+	copy(flows, t.Flows)
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Stage != flows[j].Stage {
+			return flows[i].Stage < flows[j].Stage
+		}
+		if flows[i].Start != flows[j].Start {
+			return flows[i].Start < flows[j].Start
+		}
+		return flows[i].End < flows[j].End
+	})
+	var b strings.Builder
+	for _, f := range flows {
+		lo := int(f.Start / total * float64(width))
+		hi := int(f.End / total * float64(width))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) + strings.Repeat(" ", width-hi)
+		fmt.Fprintf(&b, "stage %-2d gpu%d->gpu%-2d [%s] %7.1fus\n",
+			f.Stage, f.Src, f.Dst, bar, (f.End-f.Start)*1e6)
+	}
+	fmt.Fprintf(&b, "total: %.1fus over %d flows\n", total*1e6, len(flows))
+	return b.String()
+}

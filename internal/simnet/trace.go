@@ -1,0 +1,106 @@
+package simnet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dgcl/internal/core"
+)
+
+// Flow tracing: RunPlanTraced records one entry per simulated transfer so
+// plans can be inspected or visualized offline (who sent what when, over
+// which bottleneck, at what achieved bandwidth).
+
+// FlowTrace describes one simulated transfer.
+type FlowTrace struct {
+	Stage      int     // 1-based stage number
+	Src, Dst   int     // GPU ids
+	Bytes      int64   // payload size
+	Start, End float64 // virtual seconds relative to plan start
+	Bandwidth  float64 // achieved bytes/second (0 for empty flows)
+}
+
+// Trace is the recorded timeline of a plan execution.
+type Trace struct {
+	Flows     []FlowTrace
+	TotalTime float64
+}
+
+// RunPlanTraced simulates the plan like RunPlan while recording a per-flow
+// timeline.
+func (n *Network) RunPlanTraced(p *core.Plan) (*Result, *Trace, error) {
+	res := &Result{}
+	tr := &Trace{}
+	var clock float64
+	for si, stage := range p.Stages {
+		flows, bytes, err := n.planFlows(stage, p.BytesPerVertex, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, nv, ot := n.simulateStage(flows)
+		for fi, f := range flows {
+			ft := FlowTrace{
+				Stage: si + 1,
+				Src:   stage[fi].Src, Dst: stage[fi].Dst,
+				Bytes: int64(len(stage[fi].Vertices)) * p.BytesPerVertex,
+				Start: clock, End: clock + f.done,
+			}
+			if f.done > 0 && ft.Bytes > 0 {
+				ft.Bandwidth = float64(ft.Bytes) / f.done
+			}
+			tr.Flows = append(tr.Flows, ft)
+		}
+		t += n.stageBoundaryCost()
+		clock += t
+		res.StageTimes = append(res.StageTimes, t)
+		res.Time += t
+		res.NVLinkTime += nv
+		res.OtherTime += ot
+		res.BytesMoved += bytes
+		res.Flows += len(flows)
+	}
+	tr.TotalTime = res.Time
+	return res, tr, nil
+}
+
+// WriteCSV emits the trace as CSV (stage,src,dst,bytes,start_us,end_us,gbps).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "stage,src,dst,bytes,start_us,end_us,gbps"); err != nil {
+		return err
+	}
+	for _, f := range t.Flows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.3f,%.3f,%.3f\n",
+			f.Stage, f.Src, f.Dst, f.Bytes, f.Start*1e6, f.End*1e6, f.Bandwidth/1e9); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SlowestFlows returns the n flows with the latest end times, slowest last
+// finisher first — the stragglers that set stage makespans.
+func (t *Trace) SlowestFlows(n int) []FlowTrace {
+	out := make([]FlowTrace, len(t.Flows))
+	copy(out, t.Flows)
+	sort.Slice(out, func(i, j int) bool { return out[i].End > out[j].End })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// GPUBytes aggregates sent and received bytes per GPU.
+func (t *Trace) GPUBytes(k int) (sent, received []int64) {
+	sent = make([]int64, k)
+	received = make([]int64, k)
+	for _, f := range t.Flows {
+		if f.Src >= 0 && f.Src < k {
+			sent[f.Src] += f.Bytes
+		}
+		if f.Dst >= 0 && f.Dst < k {
+			received[f.Dst] += f.Bytes
+		}
+	}
+	return sent, received
+}

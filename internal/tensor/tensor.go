@@ -1,0 +1,255 @@
+// Package tensor provides the dense float32 linear algebra used by the GNN
+// substrate: row-major matrices with the operations GNN layers need
+// (matmul, transposed matmuls for backprop, bias, ReLU, row gather/scatter)
+// plus deterministic Xavier initialization. It is deliberately simple —
+// correctness and determinism matter more here than BLAS-grade speed, since
+// compute *time* is modeled by package device.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New allocates a zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromData wraps existing data (not copied). len(data) must equal rows*cols.
+func FromData(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: %d elements for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero clears the matrix in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Xavier fills the matrix with Glorot-uniform values using the given seed.
+func (m *Matrix) Xavier(seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	limit := float32(math.Sqrt(6.0 / float64(m.Rows+m.Cols)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+	return m
+}
+
+// FillRandom fills with uniform [-1, 1) values (for feature generation).
+func (m *Matrix) FillRandom(seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = rng.Float32()*2 - 1
+	}
+	return m
+}
+
+// MatMul returns a × b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATB returns aᵀ × b (used for weight gradients).
+func MatMulATB(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulATB %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow, brow := a.Row(i), b.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a × bᵀ (used for input gradients).
+func MatMulABT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulABT %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// AddInPlace adds b into a (same shape).
+func AddInPlace(a, b *Matrix) {
+	checkSameShape("add", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func ScaleInPlace(a *Matrix, s float32) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// AddBiasInPlace adds a 1×cols bias row to every row of a.
+func AddBiasInPlace(a *Matrix, bias *Matrix) {
+	if bias.Rows != 1 || bias.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: bias %dx%d for %dx%d", bias.Rows, bias.Cols, a.Rows, a.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, bv := range bias.Data {
+			row[j] += bv
+		}
+	}
+}
+
+// BiasGrad sums the rows of grad into a 1×cols matrix.
+func BiasGrad(grad *Matrix) *Matrix {
+	out := New(1, grad.Cols)
+	for i := 0; i < grad.Rows; i++ {
+		row := grad.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// ReLU returns max(x, 0) elementwise.
+func ReLU(a *Matrix) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// ReLUGrad masks grad by the activation pattern of pre (the pre-activation
+// input): grad flows only where pre > 0.
+func ReLUGrad(pre, grad *Matrix) *Matrix {
+	checkSameShape("relugrad", pre, grad)
+	out := New(grad.Rows, grad.Cols)
+	for i, v := range pre.Data {
+		if v > 0 {
+			out.Data[i] = grad.Data[i]
+		}
+	}
+	return out
+}
+
+// GatherRows returns the matrix whose i-th row is a's rows[i]-th row.
+func GatherRows(a *Matrix, rows []int32) *Matrix {
+	out := New(len(rows), a.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), a.Row(int(r)))
+	}
+	return out
+}
+
+// ScatterAddRows adds src's i-th row into dst's rows[i]-th row.
+func ScatterAddRows(dst, src *Matrix, rows []int32) {
+	if src.Rows != len(rows) || src.Cols != dst.Cols {
+		panic(fmt.Sprintf("tensor: scatter %dx%d into %dx%d via %d rows", src.Rows, src.Cols, dst.Rows, dst.Cols, len(rows)))
+	}
+	for i, r := range rows {
+		drow := dst.Row(int(r))
+		srow := src.Row(i)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// Frobenius returns the Frobenius norm.
+func Frobenius(a *Matrix) float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	checkSameShape("maxabsdiff", a, b)
+	var m float64
+	for i := range a.Data {
+		if d := math.Abs(float64(a.Data[i]) - float64(b.Data[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func checkSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,216 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromData(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromData(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("matmul[%d]=%v want %v", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestTransposedMatMulsAgreeWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(5, 4)
+	b := New(5, 3)
+	for i := range a.Data {
+		a.Data[i] = rng.Float32()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Float32()
+	}
+	// aᵀ b by explicit transpose.
+	at := New(4, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := MatMul(at, b)
+	got := MatMulATB(a, b)
+	if MaxAbsDiff(want, got) > 1e-5 {
+		t.Fatalf("ATB diverges: %v", MaxAbsDiff(want, got))
+	}
+	// a bᵀ: a is 5x4, use c 6x4 for b.
+	c := New(6, 4)
+	for i := range c.Data {
+		c.Data[i] = rng.Float32()
+	}
+	ct := New(4, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			ct.Set(j, i, c.At(i, j))
+		}
+	}
+	want = MatMul(a, ct)
+	got = MatMulABT(a, c)
+	if MaxAbsDiff(want, got) > 1e-5 {
+		t.Fatalf("ABT diverges: %v", MaxAbsDiff(want, got))
+	}
+}
+
+func TestReLUAndGrad(t *testing.T) {
+	pre := FromData(1, 4, []float32{-1, 0, 2, -3})
+	out := ReLU(pre)
+	if out.Data[0] != 0 || out.Data[1] != 0 || out.Data[2] != 2 || out.Data[3] != 0 {
+		t.Fatalf("relu=%v", out.Data)
+	}
+	grad := FromData(1, 4, []float32{10, 20, 30, 40})
+	g := ReLUGrad(pre, grad)
+	if g.Data[0] != 0 || g.Data[2] != 30 || g.Data[3] != 0 {
+		t.Fatalf("relugrad=%v", g.Data)
+	}
+}
+
+func TestBias(t *testing.T) {
+	a := FromData(2, 2, []float32{1, 2, 3, 4})
+	bias := FromData(1, 2, []float32{10, 20})
+	AddBiasInPlace(a, bias)
+	if a.At(0, 0) != 11 || a.At(1, 1) != 24 {
+		t.Fatalf("bias add: %v", a.Data)
+	}
+	g := BiasGrad(a)
+	if g.Data[0] != 11+13 || g.Data[1] != 22+24 {
+		t.Fatalf("bias grad: %v", g.Data)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	a := FromData(3, 2, []float32{1, 2, 3, 4, 5, 6})
+	g := GatherRows(a, []int32{2, 0})
+	if g.At(0, 0) != 5 || g.At(1, 1) != 2 {
+		t.Fatalf("gather: %v", g.Data)
+	}
+	dst := New(3, 2)
+	ScatterAddRows(dst, g, []int32{1, 1})
+	if dst.At(1, 0) != 6 || dst.At(1, 1) != 8 || dst.At(0, 0) != 0 {
+		t.Fatalf("scatter: %v", dst.Data)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromData(1, 2, []float32{1, 2})
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("clone aliases data")
+	}
+}
+
+func TestXavierDeterministicAndBounded(t *testing.T) {
+	a := New(64, 32).Xavier(7)
+	b := New(64, 32).Xavier(7)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("xavier not deterministic")
+	}
+	limit := math.Sqrt(6.0 / 96.0)
+	for _, v := range a.Data {
+		if math.Abs(float64(v)) > limit {
+			t.Fatalf("xavier value %v exceeds limit %v", v, limit)
+		}
+	}
+}
+
+func TestScaleZeroFrobenius(t *testing.T) {
+	a := FromData(1, 3, []float32{3, 4, 0})
+	if f := Frobenius(a); math.Abs(f-5) > 1e-9 {
+		t.Fatalf("frobenius=%v", f)
+	}
+	ScaleInPlace(a, 2)
+	if a.Data[1] != 8 {
+		t.Fatal("scale failed")
+	}
+	a.Zero()
+	if Frobenius(a) != 0 {
+		t.Fatal("zero failed")
+	}
+}
+
+// Property: (A B) C == A (B C) within float tolerance.
+func TestPropertyMatMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m, k, l := 2+rng.Intn(5), 2+rng.Intn(5), 2+rng.Intn(5), 2+rng.Intn(5)
+		a, b, c := New(n, m), New(m, k), New(k, l)
+		for i := range a.Data {
+			a.Data[i] = rng.Float32()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.Float32()
+		}
+		for i := range c.Data {
+			c.Data[i] = rng.Float32()
+		}
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return MaxAbsDiff(left, right) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gather then scatter-add with the same index list accumulates
+// exactly the gathered rows.
+func TestPropertyGatherScatterRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, c := 3+rng.Intn(10), 1+rng.Intn(6)
+		a := New(n, c)
+		for i := range a.Data {
+			a.Data[i] = rng.Float32()
+		}
+		idx := make([]int32, 1+rng.Intn(2*n))
+		for i := range idx {
+			idx[i] = int32(rng.Intn(n))
+		}
+		g := GatherRows(a, idx)
+		dst := New(n, c)
+		ScatterAddRows(dst, g, idx)
+		// dst row r should equal count(r in idx) * a row r.
+		count := make([]float32, n)
+		for _, r := range idx {
+			count[r]++
+		}
+		for r := 0; r < n; r++ {
+			for j := 0; j < c; j++ {
+				want := count[r] * a.At(r, j)
+				if math.Abs(float64(dst.At(r, j)-want)) > 1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	a := New(128, 128).Xavier(1)
+	c := New(128, 128).Xavier(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, c)
+	}
+}

@@ -1,0 +1,35 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec: the fabric parser must never panic, and every accepted
+// fabric must support channel computation between all GPU pairs that are
+// connected.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("node g gpu\nnode h gpu\nlink g h nv1\n")
+	f.Add("node g gpu machine=0\n")
+	f.Add("link a b pcie\n")
+	f.Add("node c cpu\nnode m mem\nlink c m membus\n")
+	f.Add("node g gpu\nnode h gpu\nlink g h nv2 bw=1e9\n# x\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		topo, err := ParseSpec("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted fabrics must render and answer channel queries without
+		// panicking (errors are fine: fabrics may be disconnected).
+		_ = topo.Summary()
+		_ = topo.Matrix()
+		n := topo.NumGPUs()
+		for i := 0; i < n && i < 4; i++ {
+			for j := 0; j < n && j < 4; j++ {
+				if i != j {
+					_, _ = topo.GPUChannel(i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A small text format for describing custom fabrics, so users can model
+// their own servers without writing Go:
+//
+//	# one declaration per line; '#' comments
+//	node cpu0   cpu    machine=0
+//	node mem0   mem    machine=0
+//	node sw0    switch machine=0
+//	node gpu0   gpu    machine=0
+//	node nic0   nic    machine=0
+//	link cpu0 mem0 membus
+//	link gpu0 sw0  pcie
+//	link gpu0 gpu1 nv2 bw=50e9    # optional explicit bytes/sec
+//
+// Node kinds: gpu, cpu, switch, nic, mem. Link types: nv2, nv1, pcie, qpi,
+// ib, ethernet, membus. GPUs are numbered in declaration order.
+
+var specLinkTypes = map[string]LinkType{
+	"nv2": NV2, "nv1": NV1, "pcie": PCIe, "qpi": QPI,
+	"ib": IB, "ethernet": Ethernet, "membus": MemBus,
+}
+
+var specNodeKinds = map[string]NodeKind{
+	"gpu": GPU, "cpu": CPU, "switch": Switch, "nic": NIC, "mem": HostMem,
+}
+
+// ParseSpec builds a topology from the text format above.
+func ParseSpec(name string, r io.Reader) (*Topology, error) {
+	b := NewBuilder(name)
+	nodes := make(map[string]NodeID)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("topology: line %d: node wants 'node NAME KIND [machine=M]'", lineNo)
+			}
+			nm := fields[1]
+			if _, dup := nodes[nm]; dup {
+				return nil, fmt.Errorf("topology: line %d: duplicate node %q", lineNo, nm)
+			}
+			kind, ok := specNodeKinds[strings.ToLower(fields[2])]
+			if !ok {
+				return nil, fmt.Errorf("topology: line %d: unknown node kind %q", lineNo, fields[2])
+			}
+			machine := 0
+			for _, f := range fields[3:] {
+				if v, ok := strings.CutPrefix(f, "machine="); ok {
+					m, err := strconv.Atoi(v)
+					if err != nil || m < 0 {
+						return nil, fmt.Errorf("topology: line %d: bad machine %q", lineNo, v)
+					}
+					machine = m
+				} else {
+					return nil, fmt.Errorf("topology: line %d: unknown attribute %q", lineNo, f)
+				}
+			}
+			nodes[nm] = b.AddNode(kind, machine, nm)
+		case "link":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("topology: line %d: link wants 'link A B TYPE [bw=BYTES/S]'", lineNo)
+			}
+			a, ok := nodes[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("topology: line %d: unknown node %q", lineNo, fields[1])
+			}
+			bn, ok := nodes[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("topology: line %d: unknown node %q", lineNo, fields[2])
+			}
+			lt, ok := specLinkTypes[strings.ToLower(fields[3])]
+			if !ok {
+				return nil, fmt.Errorf("topology: line %d: unknown link type %q", lineNo, fields[3])
+			}
+			bw := lt.Bandwidth()
+			for _, f := range fields[4:] {
+				if v, ok := strings.CutPrefix(f, "bw="); ok {
+					x, err := strconv.ParseFloat(v, 64)
+					if err != nil || x <= 0 {
+						return nil, fmt.Errorf("topology: line %d: bad bandwidth %q", lineNo, v)
+					}
+					bw = x
+				} else {
+					return nil, fmt.Errorf("topology: line %d: unknown attribute %q", lineNo, f)
+				}
+			}
+			b.ConnectBW(a, bn, lt, bw)
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t := b.Build()
+	if t.NumGPUs() == 0 {
+		return nil, fmt.Errorf("topology: spec declares no GPUs")
+	}
+	return t, nil
+}
+
+// DGX2 builds a 16-GPU single-machine topology where every GPU pair is
+// connected through an NVSwitch plane at full NV2 bandwidth (the successor
+// system the paper's introduction mentions; with a flat fast fabric the
+// planner should find little to improve over peer-to-peer).
+func DGX2() *Topology {
+	b := NewBuilder("dgx2")
+	cpu0 := b.AddNode(CPU, 0, "cpu0")
+	cpu1 := b.AddNode(CPU, 0, "cpu1")
+	b.Connect(cpu0, cpu1, QPI)
+	mem := b.AddNode(HostMem, 0, "mem")
+	b.Connect(cpu0, mem, MemBus)
+	b.Connect(cpu1, mem, MemBus)
+	// One logical NVSwitch plane; every GPU hangs off it with an NV2 trunk.
+	sw := b.AddNode(Switch, 0, "nvswitch")
+	var switches []NodeID
+	for s := 0; s < 4; s++ {
+		cpu := cpu0
+		if s >= 2 {
+			cpu = cpu1
+		}
+		ps := b.AddNode(Switch, 0, fmt.Sprintf("pcie%d", s))
+		b.Connect(ps, cpu, PCIe)
+		switches = append(switches, ps)
+	}
+	for g := 0; g < 16; g++ {
+		gpu := b.AddNode(GPU, 0, fmt.Sprintf("gpu%d", g))
+		b.Connect(gpu, switches[g/4], PCIe)
+		b.Connect(gpu, sw, NV2)
+	}
+	return b.Build()
+}
+
+// Matrix renders the GPU-to-GPU connection matrix the way `nvidia-smi topo
+// -m` does: the direct channel class of every pair (NV2/NV1 for direct
+// NVLink, PIX for same-switch PCIe, SYS for cross-socket, NET for
+// cross-machine).
+func (t *Topology) Matrix() string {
+	n := t.NumGPUs()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "")
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(&b, "%-6s", fmt.Sprintf("GPU%d", j))
+	}
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%-6s", fmt.Sprintf("GPU%d", i))
+		for j := 0; j < n; j++ {
+			cell := "X"
+			if i != j {
+				ch, err := t.GPUChannel(i, j)
+				if err != nil {
+					cell = "?"
+				} else {
+					switch ch.Class {
+					case ClassNVLink:
+						cell = t.Conn(ch.Hops[0]).Type.String()
+					case ClassSameSocket:
+						cell = "PIX"
+					case ClassCrossSocket:
+						cell = "SYS"
+					case ClassCrossMachine:
+						cell = "NET"
+					}
+				}
+			}
+			fmt.Fprintf(&b, "%-6s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary lists node and link counts by type.
+func (t *Topology) Summary() string {
+	kindCount := map[NodeKind]int{}
+	for _, n := range t.nodes {
+		kindCount[n.Kind]++
+	}
+	linkCount := map[LinkType]int{}
+	for _, c := range t.conns {
+		linkCount[c.Type]++
+	}
+	var parts []string
+	for _, k := range []NodeKind{GPU, CPU, Switch, NIC, HostMem} {
+		if kindCount[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", kindCount[k], k))
+		}
+	}
+	var links []string
+	for lt := range linkCount {
+		links = append(links, fmt.Sprintf("%d %s", linkCount[lt], lt))
+	}
+	sort.Strings(links)
+	return fmt.Sprintf("%s: %s; links: %s", t.Name, strings.Join(parts, ", "), strings.Join(links, ", "))
+}

@@ -1,0 +1,134 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+const tinySpec = `
+# two GPUs behind one switch, NVLink between them
+node cpu0 cpu machine=0
+node mem0 mem machine=0
+node sw0  switch machine=0
+node g0   gpu machine=0
+node g1   gpu machine=0
+link cpu0 mem0 membus
+link sw0 cpu0 pcie
+link g0 sw0 pcie
+link g1 sw0 pcie
+link g0 g1 nv1
+`
+
+func TestParseSpecBasic(t *testing.T) {
+	topo, err := ParseSpec("tiny", strings.NewReader(tinySpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 2 {
+		t.Fatalf("gpus=%d", topo.NumGPUs())
+	}
+	ch, err := topo.GPUChannel(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Class != ClassNVLink {
+		t.Fatalf("class=%v", ch.Class)
+	}
+	if _, err := topo.HostChannel(0); err != nil {
+		t.Fatalf("host channel: %v", err)
+	}
+}
+
+func TestParseSpecCustomBandwidth(t *testing.T) {
+	spec := tinySpec + "link g0 g1 nv2 bw=99e9\n"
+	topo, err := ParseSpec("bw", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := topo.GPUChannel(0, 1)
+	// The NV2 link is faster, so it should be chosen.
+	if got := ch.Bottleneck(topo); got != 99e9 {
+		t.Fatalf("bottleneck=%v want 99e9", got)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct{ name, spec string }{
+		{"no gpus", "node c cpu\n"},
+		{"unknown kind", "node x blob\n"},
+		{"unknown type", "node g gpu\nnode h gpu\nlink g h warp\n"},
+		{"unknown node", "node g gpu\nlink g missing pcie\n"},
+		{"duplicate node", "node g gpu\nnode g gpu\n"},
+		{"bad machine", "node g gpu machine=x\n"},
+		{"bad bw", "node g gpu\nnode h gpu\nlink g h nv1 bw=-3\n"},
+		{"bad directive", "frob g h\n"},
+		{"short node", "node g\n"},
+		{"short link", "node g gpu\nlink g\n"},
+		{"unknown node attr", "node g gpu color=red\n"},
+		{"unknown link attr", "node g gpu\nnode h gpu\nlink g h nv1 color=red\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseSpec(c.name, strings.NewReader(c.spec)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseSpecComments(t *testing.T) {
+	spec := "node g gpu # trailing comment\nnode h gpu\nlink g h nv1\n"
+	if _, err := ParseSpec("c", strings.NewReader(spec)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDGX2AllPairsNVLink(t *testing.T) {
+	topo := DGX2()
+	if topo.NumGPUs() != 16 {
+		t.Fatalf("gpus=%d", topo.NumGPUs())
+	}
+	// Every pair reaches the other through the NVSwitch at NV2 speed within
+	// two hops (gpu-switch-gpu).
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if i == j {
+				continue
+			}
+			ch, err := topo.GPUChannel(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ch.Bottleneck(topo); got != NV2.Bandwidth() {
+				t.Fatalf("pair %d-%d bottleneck %v", i, j, got)
+			}
+		}
+	}
+}
+
+func TestMatrixRendering(t *testing.T) {
+	m := DGX1().Matrix()
+	if !strings.Contains(m, "NV2") || !strings.Contains(m, "SYS") {
+		t.Fatalf("matrix missing expected classes:\n%s", m)
+	}
+	lines := strings.Split(strings.TrimSpace(m), "\n")
+	if len(lines) != 9 { // header + 8 GPUs
+		t.Fatalf("matrix lines=%d", len(lines))
+	}
+	two := TwoMachineDGX1().Matrix()
+	if !strings.Contains(two, "NET") {
+		t.Fatal("two-machine matrix should contain NET")
+	}
+	p := PCIeOnly8().Matrix()
+	if strings.Contains(p, "NV") {
+		t.Fatal("PCIe-only matrix must not contain NVLink")
+	}
+	if !strings.Contains(p, "PIX") {
+		t.Fatal("PCIe-only matrix should contain PIX pairs")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := DGX1().Summary()
+	if !strings.Contains(s, "8 GPU") || !strings.Contains(s, "NV2") {
+		t.Fatalf("summary: %s", s)
+	}
+}
