@@ -1,0 +1,27 @@
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test race fuzz vet check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race tier: the runtime is one goroutine per GPU over shared transports,
+# so every test also runs under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz pass over every fuzz target (plan decode + round-trip).
+fuzz:
+	$(GO) test -fuzz=FuzzReadPlanJSON -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz=FuzzPlanJSONRoundTrip -fuzztime=$(FUZZTIME) ./internal/core/
+
+check: vet build test race

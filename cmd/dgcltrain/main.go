@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dgcl"
 	"dgcl/internal/device"
@@ -20,6 +21,16 @@ import (
 	"dgcl/internal/graph"
 	"dgcl/internal/simnet"
 )
+
+// chaosOptions bundles the fault-injection / retry flags.
+type chaosOptions struct {
+	drop, corrupt, dup float64
+	seed               int64
+	retries            int
+	timeout            time.Duration
+}
+
+func (c chaosOptions) enabled() bool { return c.drop > 0 || c.corrupt > 0 || c.dup > 0 }
 
 func main() {
 	dataset := flag.String("dataset", "Reddit", "dataset from Table 4")
@@ -33,15 +44,22 @@ func main() {
 	adam := flag.Bool("adam", false, "use Adam instead of SGD")
 	planner := flag.String("planner", "spst", "spst | p2p | spst-noforward")
 	cache := flag.Bool("cache-features", false, "cache remote layer-0 features across epochs")
+	var chaos chaosOptions
+	flag.Float64Var(&chaos.drop, "fault-drop", 0, "transport drop probability per message (chaos)")
+	flag.Float64Var(&chaos.corrupt, "fault-corrupt", 0, "transport corruption probability per message (chaos)")
+	flag.Float64Var(&chaos.dup, "fault-dup", 0, "transport duplication probability per message (chaos)")
+	flag.Int64Var(&chaos.seed, "fault-seed", 1, "fault injection seed")
+	flag.IntVar(&chaos.retries, "retries", 8, "retransmission budget per transfer when faults are on")
+	flag.DurationVar(&chaos.timeout, "comm-timeout", 30*time.Second, "end-to-end deadline per collective when faults are on")
 	flag.Parse()
 
-	if err := run(*dataset, *model, *gpus, *scale, *epochs, *layers, *seed, float32(*lr), *adam, *planner, *cache); err != nil {
+	if err := run(*dataset, *model, *gpus, *scale, *epochs, *layers, *seed, float32(*lr), *adam, *planner, *cache, chaos); err != nil {
 		fmt.Fprintln(os.Stderr, "dgcltrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float32, adam bool, planner string, cache bool) error {
+func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float32, adam bool, planner string, cache bool, chaos chaosOptions) error {
 	ds, err := graph.DatasetByName(dataset)
 	if err != nil {
 		return err
@@ -67,6 +85,31 @@ func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64,
 	fmt.Printf("plan: %s, %d stages, modeled comm %.3f ms per allgather\n",
 		sys.Plan().Algorithm, sys.Plan().NumStages(), sys.PlannedCost()*1e3)
 
+	// Fault injection: the runtime transport retries real losses, and the
+	// network simulator prices the retransmissions in virtual time.
+	var faultProfile *simnet.FaultProfile
+	if chaos.enabled() {
+		retry := dgcl.DefaultRetryPolicy()
+		retry.MaxRetries = chaos.retries
+		if err := sys.SetRunOptions(dgcl.RunOptions{
+			Timeout: chaos.timeout,
+			Retry:   &retry,
+			Faults: &dgcl.FaultConfig{
+				Seed:    chaos.seed,
+				Default: dgcl.FaultRates{Drop: chaos.drop, Corrupt: chaos.corrupt, Duplicate: chaos.dup},
+				Stats:   &dgcl.FaultStats{},
+			},
+		}); err != nil {
+			return err
+		}
+		faultProfile = &simnet.FaultProfile{
+			DropRate: chaos.drop, CorruptRate: chaos.corrupt, DuplicateRate: chaos.dup,
+			MaxRetries: chaos.retries,
+		}
+		fmt.Printf("chaos: drop %.2f corrupt %.2f dup %.2f, %d retries, %s deadline\n",
+			chaos.drop, chaos.corrupt, chaos.dup, chaos.retries, chaos.timeout)
+	}
+
 	model := dgcl.NewModel(kind, ds.FeatureDim, ds.HiddenDim, layers, seed)
 	features := dgcl.RandomFeatures(g.NumVertices(), ds.FeatureDim, seed+1)
 	targets := dgcl.RandomFeatures(g.NumVertices(), ds.HiddenDim, seed+2)
@@ -87,11 +130,14 @@ func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64,
 	// Simulated per-epoch timing: compute (device model) + communication
 	// (network simulator over the plan).
 	gpu := device.V100()
-	net, err := simnet.New(topo, simnet.DefaultConfig(seed))
+	simCfg := simnet.DefaultConfig(seed)
+	simCfg.Faults = faultProfile
+	net, err := simnet.New(topo, simCfg)
 	if err != nil {
 		return err
 	}
 	var commPerEpoch float64
+	var retransPerEpoch int
 	dims := make([]int, layers)
 	dims[0] = ds.FeatureDim
 	for l := 1; l < layers; l++ {
@@ -106,6 +152,7 @@ func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64,
 				return err
 			}
 			commPerEpoch += fwd.Time
+			retransPerEpoch += fwd.Retransmissions
 		}
 		if li > 0 {
 			bwd, err := net.RunBackward(&p, true)
@@ -113,7 +160,11 @@ func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64,
 				return err
 			}
 			commPerEpoch += bwd.Time
+			retransPerEpoch += bwd.Retransmissions
 		}
+	}
+	if retransPerEpoch > 0 {
+		fmt.Printf("simulated retransmissions per epoch: %d\n", retransPerEpoch)
 	}
 	maxV, maxE := int64(0), int64(0)
 	for d := 0; d < gpus; d++ {
@@ -137,6 +188,10 @@ func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64,
 		}
 		fmt.Printf("epoch %d: loss %12.4f | simulated %.3f ms (compute %.3f + comm %.3f)\n",
 			e, loss, (computePerEpoch+commPerEpoch)*1e3, computePerEpoch*1e3, commPerEpoch*1e3)
+	}
+	if st := sys.Stats(); st != nil && chaos.enabled() {
+		fmt.Printf("\ntransport: %d retransmissions, %d receive timeouts\n",
+			st.TotalRetries(), st.TotalTimeouts())
 	}
 	return nil
 }

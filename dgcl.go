@@ -20,7 +20,9 @@
 package dgcl
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"dgcl/internal/baselines"
 	"dgcl/internal/comm"
@@ -59,7 +61,24 @@ type (
 	LocalGraph = comm.LocalGraph
 	// Relation is the communication relation (who needs which vertices).
 	Relation = comm.Relation
+	// CommStats holds per-GPU transfer, retry and timeout counters.
+	CommStats = runtime.CommStats
+	// RetryPolicy configures the transport retry/timeout decorator.
+	RetryPolicy = runtime.RetryPolicy
+	// FaultConfig configures transport fault injection (chaos testing).
+	FaultConfig = runtime.FaultConfig
+	// FaultRates are per-send fault probabilities per link class.
+	FaultRates = runtime.FaultRates
+	// FaultStats counts injected transport faults.
+	FaultStats = runtime.FaultStats
+	// CollectiveError is the structured per-GPU failure of a collective.
+	CollectiveError = runtime.CollectiveError
+	// TransportError is one transfer's retry/timeout failure.
+	TransportError = runtime.TransportError
 )
+
+// DefaultRetryPolicy returns the standard retry/timeout budget.
+func DefaultRetryPolicy() RetryPolicy { return runtime.DefaultRetryPolicy() }
 
 // The paper's datasets (Table 4) and models (§7).
 var (
@@ -249,6 +268,63 @@ func (s *System) ready() error {
 	return nil
 }
 
+// RunOptions configures how collectives execute: deadlines, retry budgets
+// and (for testing) transport fault injection. Install with SetRunOptions
+// after BuildCommInfo.
+type RunOptions struct {
+	// Timeout bounds each collective end to end; 0 means unbounded (the
+	// context passed to the *Context variants still applies).
+	Timeout time.Duration
+	// Retry, when non-nil, installs the retry/timeout transport decorator:
+	// lost messages are retransmitted with backoff and surface as
+	// structured per-GPU errors within the policy's deadlines instead of
+	// hanging the allgather.
+	Retry *RetryPolicy
+	// Faults, when non-nil, injects seeded transport faults
+	// (drop/delay/duplicate/corrupt), classified per physical link class
+	// when no Classify function is set. Pair with Retry for recovery.
+	Faults *FaultConfig
+	// CollectStats enables per-GPU transfer/retry/timeout counters,
+	// readable via Stats. Implied when Retry or Faults is set.
+	CollectStats bool
+}
+
+// SetRunOptions installs transport options on the initialized system. When
+// fault injection is requested without a link classifier, transfers are
+// classified by the topology's channel classes ("NVLink", "SameSocket",
+// "CrossSocket", "CrossMachine") so FaultConfig.PerClass keys match the
+// physical fabric.
+func (s *System) SetRunOptions(opts RunOptions) error {
+	if err := s.ready(); err != nil {
+		return err
+	}
+	if opts.Faults != nil && opts.Faults.Classify == nil {
+		opts.Faults.Classify = func(src, dst int) string {
+			ch, err := s.topo.GPUChannel(src, dst)
+			if err != nil {
+				return ""
+			}
+			return ch.Class.String()
+		}
+	}
+	s.clu.Timeout = opts.Timeout
+	s.clu.Faults = opts.Faults
+	s.clu.Retry = opts.Retry
+	if (opts.CollectStats || opts.Retry != nil || opts.Faults != nil) && s.clu.Stats == nil {
+		s.clu.Stats = runtime.NewCommStats(s.rel.K)
+	}
+	return nil
+}
+
+// Stats returns the per-GPU communication counters, or nil when collection
+// was never enabled (see RunOptions.CollectStats).
+func (s *System) Stats() *CommStats {
+	if s.clu == nil {
+		return nil
+	}
+	return s.clu.Stats
+}
+
 // DispatchFeatures scatters global vertex features to the GPUs' partitions.
 func (s *System) DispatchFeatures(features *Matrix) ([]*Matrix, error) {
 	if err := s.ready(); err != nil {
@@ -269,20 +345,32 @@ func (s *System) DispatchFeatures(features *Matrix) ([]*Matrix, error) {
 // graph order, ready for a single-GPU GNN layer. It blocks until all clients
 // finish, as in the paper (graphAllgather is synchronous).
 func (s *System) GraphAllgather(local []*Matrix) ([]*Matrix, error) {
+	return s.GraphAllgatherContext(context.Background(), local)
+}
+
+// GraphAllgatherContext is GraphAllgather bounded by a context: cancellation
+// or a deadline aborts all clients with a structured CollectiveError.
+func (s *System) GraphAllgatherContext(ctx context.Context, local []*Matrix) ([]*Matrix, error) {
 	if err := s.ready(); err != nil {
 		return nil, err
 	}
-	return s.clu.Allgather(local)
+	return s.clu.AllgatherContext(ctx, local)
 }
 
 // GraphAllgatherBackward routes gradients for remote vertices back to their
 // owners along the plan's trees in reverse, returning accumulated gradients
 // for each GPU's owned rows.
 func (s *System) GraphAllgatherBackward(gradFull []*Matrix) ([]*Matrix, error) {
+	return s.GraphAllgatherBackwardContext(context.Background(), gradFull)
+}
+
+// GraphAllgatherBackwardContext is GraphAllgatherBackward bounded by a
+// context.
+func (s *System) GraphAllgatherBackwardContext(ctx context.Context, gradFull []*Matrix) ([]*Matrix, error) {
 	if err := s.ready(); err != nil {
 		return nil, err
 	}
-	return s.clu.BackwardAllgather(gradFull)
+	return s.clu.BackwardAllgatherContext(ctx, gradFull)
 }
 
 // NewTrainer builds a distributed trainer for the model with the global

@@ -4,13 +4,18 @@
 // round-trip per stage. The forward graphAllgather delivers remote vertex
 // embeddings to every client (including multi-hop relays); the backward
 // allgather routes gradients down the same trees in reverse, accumulating at
-// relays, following the (non-)atomic sub-stage schedule. The runtime is the
-// correctness half of the reproduction; timing comes from package simnet.
+// relays, following the (non-)atomic sub-stage schedule. All data movement
+// goes through the Transport interface (transport.go): the default in-memory
+// channel transport, optionally wrapped with fault injection and
+// retry/timeout decorators. The runtime is the correctness half of the
+// reproduction; timing comes from package simnet.
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"dgcl/internal/comm"
 	"dgcl/internal/core"
@@ -26,8 +31,22 @@ type Cluster struct {
 	Plan   *core.Plan
 	// NonAtomic selects the §6.2 sub-stage schedule for backward passes.
 	NonAtomic bool
-	// Stats, when non-nil, accumulates actual per-GPU transfer counters.
+	// Stats, when non-nil, accumulates actual per-GPU transfer counters
+	// (behind the transport, so forward and backward collectives both
+	// count).
 	Stats *CommStats
+	// Transport overrides the base transport (default: in-memory channels).
+	Transport TransportFactory
+	// Faults, when non-nil, wraps the base transport with seeded fault
+	// injection. Pair it with Retry so injected failures are retried.
+	Faults *FaultConfig
+	// Retry, when non-nil, wraps the transport with the retry/timeout
+	// decorator: lost messages surface as structured per-GPU errors within
+	// the policy's deadlines instead of hanging the collective.
+	Retry *RetryPolicy
+	// Timeout, when positive, bounds each collective end to end (applied as
+	// a context deadline when the caller's context has none).
+	Timeout time.Duration
 }
 
 // NewCluster validates the plan against the relation and builds the cluster.
@@ -41,13 +60,76 @@ func NewCluster(rel *comm.Relation, locals []*comm.LocalGraph, plan *core.Plan) 
 	return &Cluster{K: rel.K, Rel: rel, Locals: locals, Plan: plan, NonAtomic: true}, nil
 }
 
-// message is one transfer's payload: the embedding rows for the transfer's
-// vertex list, in list order. The buffered channel carrying it plays the
-// role of the peer buffer plus done flag of §6.1: the send is the sender
-// setting its done flag after filling the buffer, the receive is the peer
-// retrieving the data when it observes the flag.
-type message struct {
-	rows *tensor.Matrix
+// newTransport composes the transport stack for one collective:
+// base (channels) -> fault injection -> retry/timeout -> stats accounting.
+func (c *Cluster) newTransport(stages [][]core.Transfer, relayAware bool) Transport {
+	base := c.Transport
+	if base == nil {
+		base = NewChanTransport
+	}
+	t := base(stages)
+	if c.Faults != nil {
+		t = NewFaultTransport(t, *c.Faults)
+	}
+	if c.Retry != nil {
+		t = NewRetryTransport(t, *c.Retry, c.Stats)
+	}
+	if c.Stats != nil {
+		t = newStatsTransport(t, c.Stats, c.Rel.Owner, relayAware)
+	}
+	return t
+}
+
+// collectiveContext applies the cluster timeout when the caller's context
+// carries no deadline of its own.
+func (c *Cluster) collectiveContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.Timeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			return context.WithTimeout(ctx, c.Timeout)
+		}
+	}
+	return context.WithCancel(ctx)
+}
+
+// CollectiveError reports a failed collective with the structured per-GPU
+// failures: PerGPU[d] is the error GPU d's client returned (nil for clients
+// that finished cleanly).
+type CollectiveError struct {
+	Op     string
+	PerGPU []error
+}
+
+func (e *CollectiveError) Error() string {
+	n, first := 0, error(nil)
+	for _, err := range e.PerGPU {
+		if err != nil {
+			n++
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return fmt.Sprintf("runtime: %s failed on %d/%d GPUs: %v", e.Op, n, len(e.PerGPU), first)
+}
+
+// Unwrap exposes the per-GPU errors to errors.Is/As.
+func (e *CollectiveError) Unwrap() []error {
+	out := make([]error, 0, len(e.PerGPU))
+	for _, err := range e.PerGPU {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
+}
+
+func collectClientErrors(op string, errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return &CollectiveError{Op: op, PerGPU: errs}
+		}
+	}
+	return nil
 }
 
 // Allgather performs the forward graphAllgather: local[d] holds GPU d's
@@ -55,21 +137,19 @@ type message struct {
 // result full[d] has Locals[d].NumLocal+NumRemote rows in local-graph order,
 // ready for single-GPU layer execution. It runs all clients concurrently.
 func (c *Cluster) Allgather(local []*tensor.Matrix) ([]*tensor.Matrix, error) {
-	if len(local) != c.K {
-		return nil, fmt.Errorf("runtime: %d inputs for %d GPUs", len(local), c.K)
+	return c.AllgatherContext(context.Background(), local)
+}
+
+// AllgatherContext is Allgather bounded by a context: cancellation or a
+// deadline aborts all clients with a structured error.
+func (c *Cluster) AllgatherContext(ctx context.Context, local []*tensor.Matrix) ([]*tensor.Matrix, error) {
+	cols, err := c.validateInputs(local, false)
+	if err != nil {
+		return nil, err
 	}
-	cols := 0
-	for d, m := range local {
-		if m.Rows != len(c.Rel.Local[d]) {
-			return nil, fmt.Errorf("runtime: GPU %d input has %d rows, owns %d vertices", d, m.Rows, len(c.Rel.Local[d]))
-		}
-		if cols == 0 {
-			cols = m.Cols
-		} else if m.Cols != cols {
-			return nil, fmt.Errorf("runtime: inconsistent feature dims (%d vs %d)", m.Cols, cols)
-		}
-	}
-	chans := c.makeChannels(c.Plan.Stages)
+	ctx, cancel := c.collectiveContext(ctx)
+	defer cancel()
+	tp := c.newTransport(c.Plan.Stages, true)
 	full := make([]*tensor.Matrix, c.K)
 	var wg sync.WaitGroup
 	errs := make([]error, c.K)
@@ -77,29 +157,38 @@ func (c *Cluster) Allgather(local []*tensor.Matrix) ([]*tensor.Matrix, error) {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			full[d], errs[d] = c.runForwardClient(d, local[d], cols, chans)
+			full[d], errs[d] = c.runForwardClient(ctx, d, local[d], cols, tp)
 		}(d)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := collectClientErrors("graphAllgather", errs); err != nil {
+		return nil, err
 	}
 	return full, nil
 }
 
-// makeChannels builds one buffered channel per transfer of each stage; the
-// unique sender never blocks, so stage execution cannot deadlock.
-func (c *Cluster) makeChannels(stages [][]core.Transfer) [][]chan message {
-	out := make([][]chan message, len(stages))
-	for si, st := range stages {
-		out[si] = make([]chan message, len(st))
-		for ti := range st {
-			out[si][ti] = make(chan message, 1)
+// validateInputs checks one matrix per GPU, all non-nil with a consistent
+// column count; forward inputs must also match the owned-row counts (the
+// backward client checks its own local-graph row count).
+func (c *Cluster) validateInputs(in []*tensor.Matrix, backward bool) (int, error) {
+	if len(in) != c.K {
+		return 0, fmt.Errorf("runtime: %d inputs for %d GPUs", len(in), c.K)
+	}
+	cols := -1
+	for d, m := range in {
+		if m == nil {
+			return 0, fmt.Errorf("runtime: GPU %d input is nil", d)
+		}
+		if !backward && m.Rows != len(c.Rel.Local[d]) {
+			return 0, fmt.Errorf("runtime: GPU %d input has %d rows, owns %d vertices", d, m.Rows, len(c.Rel.Local[d]))
+		}
+		if cols == -1 {
+			cols = m.Cols
+		} else if m.Cols != cols {
+			return 0, fmt.Errorf("runtime: inconsistent feature dims (%d vs %d)", m.Cols, cols)
 		}
 	}
-	return out
+	return cols, nil
 }
 
 // vertexStore resolves a client's view of vertex embeddings during an
@@ -127,7 +216,7 @@ func (vs *vertexStore) row(v int32) ([]float32, bool) {
 	return r, ok
 }
 
-func (c *Cluster) runForwardClient(d int, local *tensor.Matrix, cols int, chans [][]chan message) (*tensor.Matrix, error) {
+func (c *Cluster) runForwardClient(ctx context.Context, d int, local *tensor.Matrix, cols int, tp Transport) (*tensor.Matrix, error) {
 	store := newVertexStore(c.Rel.Local[d], local)
 	for si, st := range c.Plan.Stages {
 		// Send phase: fill peer buffers and set done flags.
@@ -136,37 +225,29 @@ func (c *Cluster) runForwardClient(d int, local *tensor.Matrix, cols int, chans 
 				continue
 			}
 			buf := tensor.New(len(tr.Vertices), cols)
-			var relayed int64
 			for i, v := range tr.Vertices {
 				row, ok := store.row(v)
 				if !ok {
 					return nil, fmt.Errorf("runtime: GPU %d lacks vertex %d at stage %d", d, v, si+1)
 				}
 				copy(buf.Row(i), row)
-				if _, owned := store.ownerIndex[v]; !owned {
-					relayed += int64(cols) * 4
-				}
 			}
-			if c.Stats != nil {
-				c.Stats.sentBytes[d].Add(int64(len(buf.Data)) * 4)
-				c.Stats.sentMsgs[d].Add(1)
-				c.Stats.relayedBytes[d].Add(relayed)
+			if err := tp.Send(ctx, TransferKey{si, ti}, tr, NewMessage(buf)); err != nil {
+				return nil, fmt.Errorf("runtime: GPU %d send: %w", d, err)
 			}
-			chans[si][ti] <- message{rows: buf}
 		}
 		// Receive phase: wait for each peer's done flag and retrieve.
 		for ti, tr := range st {
 			if tr.Dst != d {
 				continue
 			}
-			msg := <-chans[si][ti]
-			if c.Stats != nil {
-				c.Stats.recvBytes[d].Add(int64(len(msg.rows.Data)) * 4)
-				c.Stats.recvMsgs[d].Add(1)
+			msg, err := tp.Recv(ctx, TransferKey{si, ti}, tr)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: GPU %d recv: %w", d, err)
 			}
 			for i, v := range tr.Vertices {
 				row := make([]float32, cols)
-				copy(row, msg.rows.Row(i))
+				copy(row, msg.Rows.Row(i))
 				store.received[v] = row
 			}
 		}
@@ -194,12 +275,25 @@ func (c *Cluster) runForwardClient(d int, local *tensor.Matrix, cols int, chans 
 // vertex of GPU d: its own local-row gradients plus every gradient
 // contribution received from GPUs that consumed (or relayed) its vertices.
 func (c *Cluster) BackwardAllgather(gradFull []*tensor.Matrix) ([]*tensor.Matrix, error) {
-	if len(gradFull) != c.K {
-		return nil, fmt.Errorf("runtime: %d inputs for %d GPUs", len(gradFull), c.K)
+	return c.BackwardAllgatherContext(context.Background(), gradFull)
+}
+
+// BackwardAllgatherContext is BackwardAllgather bounded by a context.
+func (c *Cluster) BackwardAllgatherContext(ctx context.Context, gradFull []*tensor.Matrix) ([]*tensor.Matrix, error) {
+	cols, err := c.validateInputs(gradFull, true)
+	if err != nil {
+		return nil, err
 	}
-	cols := gradFull[0].Cols
+	for d, m := range gradFull {
+		lg := c.Locals[d]
+		if m.Rows != lg.NumLocal+lg.NumRemote {
+			return nil, fmt.Errorf("runtime: GPU %d gradient has %d rows, local graph has %d", d, m.Rows, lg.NumLocal+lg.NumRemote)
+		}
+	}
+	ctx, cancel := c.collectiveContext(ctx)
+	defer cancel()
 	sched := c.Plan.BackwardSchedule(c.NonAtomic)
-	// Flatten sub-stages into channel-indexed stages.
+	// Flatten sub-stages into transport-keyed stages.
 	flat := make([][]core.Transfer, 0, len(sched))
 	for _, stage := range sched {
 		var all []core.Transfer
@@ -208,7 +302,7 @@ func (c *Cluster) BackwardAllgather(gradFull []*tensor.Matrix) ([]*tensor.Matrix
 		}
 		flat = append(flat, all)
 	}
-	chans := c.makeChannels(flat)
+	tp := c.newTransport(flat, false)
 	out := make([]*tensor.Matrix, c.K)
 	errs := make([]error, c.K)
 	var wg sync.WaitGroup
@@ -216,23 +310,18 @@ func (c *Cluster) BackwardAllgather(gradFull []*tensor.Matrix) ([]*tensor.Matrix
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			out[d], errs[d] = c.runBackwardClient(d, gradFull[d], cols, flat, chans)
+			out[d], errs[d] = c.runBackwardClient(ctx, d, gradFull[d], cols, flat, tp)
 		}(d)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := collectClientErrors("backward graphAllgather", errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-func (c *Cluster) runBackwardClient(d int, gradFull *tensor.Matrix, cols int, flat [][]core.Transfer, chans [][]chan message) (*tensor.Matrix, error) {
+func (c *Cluster) runBackwardClient(ctx context.Context, d int, gradFull *tensor.Matrix, cols int, flat [][]core.Transfer, tp Transport) (*tensor.Matrix, error) {
 	lg := c.Locals[d]
-	if gradFull.Rows != lg.NumLocal+lg.NumRemote {
-		return nil, fmt.Errorf("runtime: GPU %d gradient has %d rows, local graph has %d", d, gradFull.Rows, lg.NumLocal+lg.NumRemote)
-	}
 	// accum holds this client's running gradient for every non-owned vertex
 	// it touched: its own consumer contribution (remote rows of gradFull)
 	// plus anything received from tree children. Relay-only vertices start
@@ -275,15 +364,20 @@ func (c *Cluster) runBackwardClient(d int, gradFull *tensor.Matrix, cols int, fl
 			for i, v := range tr.Vertices {
 				copy(buf.Row(i), grow(v))
 			}
-			chans[si][ti] <- message{rows: buf}
+			if err := tp.Send(ctx, TransferKey{si, ti}, tr, NewMessage(buf)); err != nil {
+				return nil, fmt.Errorf("runtime: GPU %d send: %w", d, err)
+			}
 		}
 		for ti, tr := range st {
 			if tr.Dst != d {
 				continue
 			}
-			msg := <-chans[si][ti]
+			msg, err := tp.Recv(ctx, TransferKey{si, ti}, tr)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: GPU %d recv: %w", d, err)
+			}
 			for i, v := range tr.Vertices {
-				src := msg.rows.Row(i)
+				src := msg.Rows.Row(i)
 				if oi, ok := ownIndex[v]; ok {
 					dst := own.Row(oi)
 					for j, x := range src {

@@ -1,0 +1,196 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"dgcl/internal/baselines"
+	"dgcl/internal/comm"
+	"dgcl/internal/core"
+	"dgcl/internal/graph"
+	"dgcl/internal/partition"
+	"dgcl/internal/tensor"
+	"dgcl/internal/topology"
+)
+
+// Property battery: across ~50 seeded (graph, topology, partition) triples,
+// the concurrent graphAllgather must agree with a trivial serial reference
+// gather, and the backward allgather with a serial transpose-accumulate
+// reference. The references ignore the plan entirely (they index straight
+// into the owners' matrices), so any routing, relaying, or staging bug in
+// the runtime or planner shows up as a mismatch.
+
+// ownerIndexMap maps global vertex id -> row index in the owner's matrix.
+func ownerIndexMap(rel *comm.Relation) map[int32]int {
+	idx := make(map[int32]int)
+	for d := 0; d < rel.K; d++ {
+		for i, v := range rel.Local[d] {
+			idx[v] = i
+		}
+	}
+	return idx
+}
+
+// referenceGather computes what Allgather must deliver, serially: each
+// local-graph row is looked up directly in its owner's input matrix.
+func referenceGather(rel *comm.Relation, locals []*comm.LocalGraph, local []*tensor.Matrix) []*tensor.Matrix {
+	idx := ownerIndexMap(rel)
+	cols := local[0].Cols
+	out := make([]*tensor.Matrix, rel.K)
+	for d := 0; d < rel.K; d++ {
+		lg := locals[d]
+		out[d] = tensor.New(lg.NumLocal+lg.NumRemote, cols)
+		for i := 0; i < lg.NumLocal+lg.NumRemote; i++ {
+			v := lg.GlobalID[i]
+			copy(out[d].Row(i), local[rel.Owner[v]].Row(idx[v]))
+		}
+	}
+	return out
+}
+
+// referenceBackward computes what BackwardAllgather must deliver, serially:
+// the transpose of the gather. Every GPU's gradient row for a vertex is
+// accumulated at the vertex's owner.
+func referenceBackward(rel *comm.Relation, locals []*comm.LocalGraph, gradFull []*tensor.Matrix) []*tensor.Matrix {
+	idx := ownerIndexMap(rel)
+	cols := gradFull[0].Cols
+	out := make([]*tensor.Matrix, rel.K)
+	for d := 0; d < rel.K; d++ {
+		out[d] = tensor.New(len(rel.Local[d]), cols)
+	}
+	for e := 0; e < rel.K; e++ {
+		lg := locals[e]
+		for i := 0; i < lg.NumLocal+lg.NumRemote; i++ {
+			v := lg.GlobalID[i]
+			dst := out[rel.Owner[v]].Row(idx[v])
+			src := gradFull[e].Row(i)
+			for j, x := range src {
+				dst[j] += x
+			}
+		}
+	}
+	return out
+}
+
+// propertyCase is one seeded triple plus the planner choice.
+type propertyCase struct {
+	name    string
+	g       *graph.Graph
+	k       int
+	seed    int64
+	planner string // "spst" or "p2p"
+	cols    int
+}
+
+// propertyCases enumerates the battery: 5 graph families x 5 GPU counts x 2
+// planners = 50 triples, each with its own partition seed.
+func propertyCases() []propertyCase {
+	gens := []struct {
+		name string
+		make func(seed int64) *graph.Graph
+	}{
+		{"community", func(s int64) *graph.Graph { return graph.CommunityGraph(200, 8, 4, 0.8, s) }},
+		{"rmat", func(s int64) *graph.Graph { return graph.RMAT(180, 900, 0.57, 0.19, 0.19, s) }},
+		{"locality", func(s int64) *graph.Graph { return graph.LocalityGraph(160, 6, s) }},
+		{"erdos", func(s int64) *graph.Graph { return graph.ErdosRenyi(150, 700, s) }},
+		{"grid", func(s int64) *graph.Graph { return graph.Grid2D(12, 13) }},
+	}
+	ks := []int{2, 3, 4, 6, 8}
+	var cases []propertyCase
+	seed := int64(1)
+	for _, gen := range gens {
+		for _, k := range ks {
+			for _, planner := range []string{"spst", "p2p"} {
+				cases = append(cases, propertyCase{
+					name:    fmt.Sprintf("%s/k%d/%s/seed%d", gen.name, k, planner, seed),
+					g:       gen.make(seed),
+					k:       k,
+					seed:    seed,
+					planner: planner,
+					cols:    1 + int(seed%5),
+				})
+				seed++
+			}
+		}
+	}
+	return cases
+}
+
+func buildCase(t *testing.T, pc propertyCase) (*Cluster, *comm.Relation) {
+	t.Helper()
+	p, err := partition.KWay(pc.g, pc.k, partition.Options{Seed: pc.seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := comm.Build(pc.g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan *core.Plan
+	if pc.planner == "p2p" {
+		plan = baselines.PlanP2P(rel, int64(4*pc.cols))
+	} else {
+		plan, _, err = core.PlanSPST(rel, topology.SubDGX1(pc.k), int64(4*pc.cols), core.SPSTOptions{Seed: pc.seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := NewCluster(rel, comm.BuildLocalGraphs(pc.g, rel), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, rel
+}
+
+func TestPropertyAllgatherMatchesSerialReference(t *testing.T) {
+	for _, pc := range propertyCases() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			t.Parallel()
+			c, rel := buildCase(t, pc)
+			local := make([]*tensor.Matrix, pc.k)
+			for d := 0; d < pc.k; d++ {
+				local[d] = tensor.New(len(rel.Local[d]), pc.cols).FillRandom(pc.seed + int64(d))
+			}
+			got, err := c.Allgather(local)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := referenceGather(rel, c.Locals, local)
+			for d := 0; d < pc.k; d++ {
+				// Forward moves pure copies: bit-identical, not merely close.
+				if diff := tensor.MaxAbsDiff(got[d], want[d]); diff != 0 {
+					t.Fatalf("GPU %d diverges from serial reference by %v", d, diff)
+				}
+			}
+		})
+	}
+}
+
+func TestPropertyBackwardMatchesTransposeReference(t *testing.T) {
+	for _, pc := range propertyCases() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			t.Parallel()
+			c, rel := buildCase(t, pc)
+			// Exercise both backward schedules across the battery.
+			c.NonAtomic = pc.seed%2 == 0
+			gradFull := make([]*tensor.Matrix, pc.k)
+			for d := 0; d < pc.k; d++ {
+				lg := c.Locals[d]
+				gradFull[d] = tensor.New(lg.NumLocal+lg.NumRemote, pc.cols).FillRandom(pc.seed + 100 + int64(d))
+			}
+			got, err := c.BackwardAllgather(gradFull)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := referenceBackward(rel, c.Locals, gradFull)
+			for d := 0; d < pc.k; d++ {
+				// Relays re-associate float32 sums; allow rounding slack only.
+				if diff := tensor.MaxAbsDiff(got[d], want[d]); diff > 1e-4 {
+					t.Fatalf("GPU %d diverges from transpose reference by %v", d, diff)
+				}
+			}
+		})
+	}
+}

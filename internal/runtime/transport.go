@@ -1,0 +1,176 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"dgcl/internal/core"
+	"dgcl/internal/tensor"
+)
+
+// The transport layer abstracts the per-transfer peer buffers + done flags of
+// §6.1 behind an interface so the runtime can run over different media: the
+// default in-memory channel transport, a fault-injecting wrapper for chaos
+// testing, and a retry/timeout decorator that turns lost messages into
+// structured per-GPU errors instead of hung clients. Later networking
+// backends (TCP/RPC multi-process execution) plug in at the same seam.
+
+// TransferKey addresses one transfer of one (flattened) stage within a
+// single collective. Stage indexes the flattened stage list the transport
+// was built for; Index is the transfer's position within that stage.
+type TransferKey struct {
+	Stage, Index int
+}
+
+func (k TransferKey) String() string { return fmt.Sprintf("stage %d transfer %d", k.Stage+1, k.Index) }
+
+// Message is one transfer's payload: the embedding (or gradient) rows for
+// the transfer's vertex list, in list order, plus a checksum so transports
+// that can corrupt data are detectable end to end.
+type Message struct {
+	Rows     *tensor.Matrix
+	Checksum uint64
+}
+
+// NewMessage seals a payload with its checksum.
+func NewMessage(rows *tensor.Matrix) Message {
+	return Message{Rows: rows, Checksum: payloadChecksum(rows)}
+}
+
+// Valid reports whether the payload still matches its checksum.
+func (m Message) Valid() bool { return m.Checksum == payloadChecksum(m.Rows) }
+
+func payloadChecksum(rows *tensor.Matrix) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, f := range rows.Data {
+		bits := math.Float32bits(f)
+		b[0], b[1], b[2], b[3] = byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24)
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Transport moves one collective's messages between clients. A Transport
+// instance is built per collective (the stage layout is fixed at
+// construction) and used concurrently by all K client goroutines; both
+// methods must be safe for concurrent use on distinct keys.
+//
+// Send delivers the payload for key and returns once the transport has
+// accepted it — or an error when the transport detected the delivery failed
+// (dropped, corrupted in flight, receiver buffer full). Recv blocks until
+// the payload for key arrives, the context is done, or the transport gives
+// up. The tr argument carries the transfer's endpoints and vertex list for
+// accounting and fault classification; implementations must not mutate it.
+type Transport interface {
+	Send(ctx context.Context, key TransferKey, tr core.Transfer, msg Message) error
+	Recv(ctx context.Context, key TransferKey, tr core.Transfer) (Message, error)
+}
+
+// TransportFactory builds a fresh Transport for one collective over the
+// given (flattened) stage layout.
+type TransportFactory func(stages [][]core.Transfer) Transport
+
+// Sentinel failures a transport can report. Decorators treat these as
+// retryable; anything else is a hard error.
+var (
+	// ErrDropped: the message was lost in flight and the sender detected it
+	// (the simulated NACK of a reliable-delivery layer).
+	ErrDropped = errors.New("message dropped")
+	// ErrCorrupt: the payload failed its checksum.
+	ErrCorrupt = errors.New("message corrupt")
+	// ErrBackpressure: the receiver's buffer was full and the message was
+	// discarded.
+	ErrBackpressure = errors.New("receiver buffer full")
+)
+
+// IsRetryable reports whether err is a transient transport failure that a
+// retransmission can fix.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrDropped) || errors.Is(err, ErrCorrupt) || errors.Is(err, ErrBackpressure)
+}
+
+// TransportError is the structured failure the retry decorator surfaces
+// when a transfer exhausts its budget or deadline: which operation, which
+// transfer, between whom, and after how many attempts.
+type TransportError struct {
+	Op       string // "send" or "recv"
+	Key      TransferKey
+	Src, Dst int
+	Attempts int
+	Err      error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("transport %s %s (%d->%d) failed after %d attempt(s): %v",
+		e.Op, e.Key, e.Src, e.Dst, e.Attempts, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// chanBuffer is the per-transfer channel capacity. The unique sender of a
+// fault-free transfer delivers exactly once, but fault injection can add
+// duplicates and retransmissions; a deep-enough buffer keeps Send
+// non-blocking (overflow is reported as ErrBackpressure and handled like a
+// drop, never a deadlock).
+const chanBuffer = 8
+
+// chanTransport is the default in-memory transport: one buffered channel
+// per transfer plays the role of the §6.1 peer buffer plus done flag — the
+// send is the sender setting its done flag after filling the buffer, the
+// receive is the peer retrieving the data when it observes the flag.
+type chanTransport struct {
+	chans [][]chan Message
+}
+
+// NewChanTransport builds the in-memory channel transport for a stage
+// layout.
+func NewChanTransport(stages [][]core.Transfer) Transport {
+	t := &chanTransport{chans: make([][]chan Message, len(stages))}
+	for si, st := range stages {
+		t.chans[si] = make([]chan Message, len(st))
+		for ti := range st {
+			t.chans[si][ti] = make(chan Message, chanBuffer)
+		}
+	}
+	return t
+}
+
+func (t *chanTransport) channel(key TransferKey) (chan Message, error) {
+	if key.Stage < 0 || key.Stage >= len(t.chans) || key.Index < 0 || key.Index >= len(t.chans[key.Stage]) {
+		return nil, fmt.Errorf("transport: no channel for %s", key)
+	}
+	return t.chans[key.Stage][key.Index], nil
+}
+
+func (t *chanTransport) Send(ctx context.Context, key TransferKey, tr core.Transfer, msg Message) error {
+	ch, err := t.channel(key)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case ch <- msg:
+		return nil
+	default:
+		return ErrBackpressure
+	}
+}
+
+func (t *chanTransport) Recv(ctx context.Context, key TransferKey, tr core.Transfer) (Message, error) {
+	ch, err := t.channel(key)
+	if err != nil {
+		return Message{}, err
+	}
+	select {
+	case msg := <-ch:
+		return msg, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}

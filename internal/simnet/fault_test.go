@@ -1,0 +1,106 @@
+package simnet
+
+import (
+	"testing"
+
+	"dgcl/internal/core"
+	"dgcl/internal/topology"
+)
+
+// Fault pricing: Config.Faults mirrors the runtime transport's fault knobs
+// into virtual time. A lossy profile must cost strictly more (time and
+// bytes) than a clean run, record the retransmissions it priced, and stay
+// deterministic per seed.
+
+func faultPlan() *core.Plan {
+	p := core.NewPlan(4, 256, "fault-test")
+	p.Stages = [][]core.Transfer{
+		{
+			{Src: 0, Dst: 1, Vertices: []int32{0, 1, 2, 3}},
+			{Src: 2, Dst: 3, Vertices: []int32{4, 5, 6, 7}},
+		},
+		{
+			{Src: 1, Dst: 2, Vertices: []int32{0, 1}},
+			{Src: 3, Dst: 0, Vertices: []int32{4, 5}},
+		},
+	}
+	return p
+}
+
+func faultNet(t *testing.T, faults *FaultProfile) *Network {
+	t.Helper()
+	cfg := Config{Seed: 9, Jitter: 0, ContentionExponent: 1, LatencyScale: 1, Faults: faults}
+	n, err := New(topology.SubDGX1(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFaultProfilePricesRetransmissions(t *testing.T) {
+	clean, err := faultNet(t, nil).RunPlan(faultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Retransmissions != 0 {
+		t.Fatalf("clean run priced %d retransmissions", clean.Retransmissions)
+	}
+
+	lossy, err := faultNet(t, &FaultProfile{DropRate: 0.4, CorruptRate: 0.1, MaxRetries: 8}).RunPlan(faultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Retransmissions == 0 {
+		t.Fatal("40% loss priced zero retransmissions")
+	}
+	if lossy.BytesMoved <= clean.BytesMoved {
+		t.Fatalf("lossy run moved %d bytes, clean moved %d", lossy.BytesMoved, clean.BytesMoved)
+	}
+	if lossy.Time <= clean.Time {
+		t.Fatalf("lossy run took %v, clean took %v", lossy.Time, clean.Time)
+	}
+	// A logical flow is one flow regardless of retransmissions.
+	if lossy.Flows != clean.Flows {
+		t.Fatalf("fault pricing changed the flow count: %d vs %d", lossy.Flows, clean.Flows)
+	}
+}
+
+func TestFaultProfileZeroRatesMatchNilProfile(t *testing.T) {
+	base, err := faultNet(t, nil).RunPlan(faultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := faultNet(t, &FaultProfile{}).RunPlan(faultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Time != base.Time || zero.BytesMoved != base.BytesMoved || zero.Retransmissions != 0 {
+		t.Fatalf("zero-rate profile diverges from nil: %+v vs %+v", zero, base)
+	}
+}
+
+func TestFaultPricingIsSeedDeterministic(t *testing.T) {
+	profile := &FaultProfile{DropRate: 0.3, DuplicateRate: 0.1, MaxRetries: 6}
+	a, err := faultNet(t, profile).RunPlan(faultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := faultNet(t, profile).RunPlan(faultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.BytesMoved != b.BytesMoved || a.Retransmissions != b.Retransmissions {
+		t.Fatalf("same seed, different pricing: %+v vs %+v", a, b)
+	}
+}
+
+func TestFaultPricingAppliesToBackward(t *testing.T) {
+	profile := &FaultProfile{DropRate: 0.4, MaxRetries: 8}
+	res, err := faultNet(t, profile).RunBackward(faultPlan(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retransmissions == 0 {
+		t.Fatal("backward run priced zero retransmissions at 40% loss")
+	}
+}

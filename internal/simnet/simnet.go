@@ -37,6 +37,42 @@ type Config struct {
 	// backward pass uses atomic gradient accumulation (§6.2). 1.35 matches
 	// Table 9's shape. Ignored for forward passes.
 	AtomicFactor float64
+	// Faults, when non-nil, mirrors the runtime transport's fault knobs
+	// (runtime.FaultConfig) into virtual time: lossy links force
+	// retransmissions, priced as extra bytes on the same hops plus the
+	// retry backoff latency, so experiments can quantify what a fault rate
+	// costs end to end.
+	Faults *FaultProfile
+}
+
+// FaultProfile prices transport faults in virtual time. It mirrors the
+// runtime's fault-injection + retry knobs: a transfer is lost with
+// probability DropRate+CorruptRate (a corrupted copy still occupies the
+// link, then is retransmitted), retransmitted up to MaxRetries times with
+// exponential backoff, and duplicated with probability DuplicateRate.
+type FaultProfile struct {
+	DropRate      float64
+	CorruptRate   float64
+	DuplicateRate float64
+	// MaxRetries is the retransmission budget per transfer (default 4).
+	MaxRetries int
+	// RetryBackoff is the virtual-time wait before the first
+	// retransmission, doubling each retry (default 200µs).
+	RetryBackoff float64
+}
+
+func (f *FaultProfile) withDefaults() *FaultProfile {
+	if f == nil {
+		return nil
+	}
+	g := *f
+	if g.MaxRetries == 0 {
+		g.MaxRetries = 4
+	}
+	if g.RetryBackoff == 0 {
+		g.RetryBackoff = 200e-6
+	}
+	return &g
 }
 
 // DefaultConfig returns the calibrated configuration used by the experiment
@@ -61,6 +97,7 @@ func (c Config) withDefaults() Config {
 	if c.AtomicFactor == 0 {
 		c.AtomicFactor = 1.35
 	}
+	c.Faults = c.Faults.withDefaults()
 	return c
 }
 
@@ -147,6 +184,10 @@ type Result struct {
 	NVLinkTime, OtherTime float64
 	BytesMoved            int64
 	Flows                 int
+	// Retransmissions counts the extra copies forced by Config.Faults
+	// (retried losses plus duplicates); their bytes are included in
+	// BytesMoved and their backoff waits in Time.
+	Retransmissions int
 }
 
 // simulateStage runs one set of concurrent flows to completion with max-min
@@ -306,15 +347,14 @@ func (n *Network) stageBoundaryCost() float64 {
 	return decentralizedFlagCost * n.cfg.LatencyScale
 }
 
-func (n *Network) planFlows(transfers []core.Transfer, bytesPerVertex int64, overhead float64) ([]*flow, int64, error) {
+func (n *Network) planFlows(transfers []core.Transfer, bytesPerVertex int64, overhead float64, res *Result) ([]*flow, error) {
 	var flows []*flow
-	var bytes int64
 	for _, t := range transfers {
 		if t.Src == t.Dst || t.Src < 0 || t.Dst < 0 || t.Src >= n.topo.NumGPUs() || t.Dst >= n.topo.NumGPUs() {
-			return nil, 0, fmt.Errorf("simnet: bad transfer %d->%d", t.Src, t.Dst)
+			return nil, fmt.Errorf("simnet: bad transfer %d->%d", t.Src, t.Dst)
 		}
 		b := int64(len(t.Vertices)) * bytesPerVertex
-		bytes += b
+		res.BytesMoved += b
 		hops := n.hops[t.Src][t.Dst]
 		nvOnly := len(hops) > 0
 		for _, h := range hops {
@@ -322,14 +362,49 @@ func (n *Network) planFlows(transfers []core.Transfer, bytesPerVertex int64, ove
 				nvOnly = false
 			}
 		}
-		flows = append(flows, &flow{
+		f := &flow{
 			hops:    hops,
 			bytes:   float64(b) * overhead * n.jitter(),
 			latency: n.latency[t.Src][t.Dst],
 			nvOnly:  nvOnly,
-		})
+		}
+		if extra := n.priceFaults(f); extra > 0 {
+			res.Retransmissions += extra
+			res.BytesMoved += int64(extra) * b
+		}
+		flows = append(flows, f)
 	}
-	return flows, bytes, nil
+	res.Flows += len(flows)
+	return flows, nil
+}
+
+// priceFaults applies the fault profile to one flow: each lost copy (drop
+// or corrupt) occupies the flow's hops and forces a retransmission after a
+// doubling backoff; a duplicate adds one more copy. Returns the number of
+// extra copies; the flow's bytes and latency are scaled in place. Losses
+// beyond the retry budget are not priceable in virtual time (the collective
+// fails instead); the loss probability is capped so pricing terminates.
+func (n *Network) priceFaults(f *flow) int {
+	fp := n.cfg.Faults
+	if fp == nil {
+		return 0
+	}
+	lose := fp.DropRate + fp.CorruptRate
+	if lose > 0.95 {
+		lose = 0.95
+	}
+	extra := 0
+	backoff := fp.RetryBackoff
+	for i := 0; i < fp.MaxRetries && n.rng.Float64() < lose; i++ {
+		extra++
+		f.latency += backoff
+		backoff *= 2
+	}
+	if fp.DuplicateRate > 0 && n.rng.Float64() < fp.DuplicateRate {
+		extra++
+	}
+	f.bytes *= float64(1 + extra)
+	return extra
 }
 
 // RunPlan simulates the forward graphAllgather of a staged plan and returns
@@ -337,7 +412,7 @@ func (n *Network) planFlows(transfers []core.Transfer, bytesPerVertex int64, ove
 func (n *Network) RunPlan(p *core.Plan) (*Result, error) {
 	res := &Result{}
 	for _, stage := range p.Stages {
-		flows, bytes, err := n.planFlows(stage, p.BytesPerVertex, 1)
+		flows, err := n.planFlows(stage, p.BytesPerVertex, 1, res)
 		if err != nil {
 			return nil, err
 		}
@@ -347,8 +422,6 @@ func (n *Network) RunPlan(p *core.Plan) (*Result, error) {
 		res.Time += t
 		res.NVLinkTime += nv
 		res.OtherTime += ot
-		res.BytesMoved += bytes
-		res.Flows += len(flows)
 	}
 	return res, nil
 }
@@ -373,7 +446,7 @@ func (n *Network) RunBackward(p *core.Plan, nonAtomic bool) (*Result, error) {
 		for _, sub := range stage {
 			all = append(all, sub...)
 		}
-		flows, bytes, err := n.planFlows(all, p.BytesPerVertex, overhead)
+		flows, err := n.planFlows(all, p.BytesPerVertex, overhead, res)
 		if err != nil {
 			return nil, err
 		}
@@ -386,8 +459,6 @@ func (n *Network) RunBackward(p *core.Plan, nonAtomic bool) (*Result, error) {
 		res.Time += t
 		res.NVLinkTime += nv
 		res.OtherTime += ot
-		res.BytesMoved += bytes
-		res.Flows += len(flows)
 	}
 	return res, nil
 }

@@ -34,7 +34,7 @@ func (n *Network) RunPlanTraced(p *core.Plan) (*Result, *Trace, error) {
 	tr := &Trace{}
 	var clock float64
 	for si, stage := range p.Stages {
-		flows, bytes, err := n.planFlows(stage, p.BytesPerVertex, 1)
+		flows, err := n.planFlows(stage, p.BytesPerVertex, 1, res)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -57,8 +57,6 @@ func (n *Network) RunPlanTraced(p *core.Plan) (*Result, *Trace, error) {
 		res.Time += t
 		res.NVLinkTime += nv
 		res.OtherTime += ot
-		res.BytesMoved += bytes
-		res.Flows += len(flows)
 	}
 	tr.TotalTime = res.Time
 	return res, tr, nil
