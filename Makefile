@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race fuzz vet check
+.PHONY: all build test race fuzz vet check bench-smoke
 
 all: build test
 
@@ -18,6 +18,14 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Bench-smoke tier: one iteration of every planner benchmark (serial,
+# parallel waves, warm cache), recorded as BENCH_plan.json for trend
+# tracking. -benchtime 1x keeps it fast enough for CI.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlanSPST|BenchmarkPlanCacheWarm' \
+		-benchtime 1x -json ./internal/core/ > BENCH_plan.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_plan.json | sed 's/"Output":"//;s/\\n//' || true
 
 # Short fuzz pass over every fuzz target (plan decode + round-trip).
 fuzz:

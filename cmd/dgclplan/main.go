@@ -27,19 +27,31 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	planner := flag.String("planner", "spst", "spst | spst-noforward | p2p")
 	chunk := flag.Int("chunk", 16, "SPST vertex chunk size (1 = exact per-vertex)")
+	workers := flag.Int("workers", 1, "SPST planning workers (1 = exact serial planning)")
+	batch := flag.Int("batch", 1, "items each worker plans per wave against a frozen load snapshot")
+	cacheDir := flag.String("plan-cache", "", "content-addressed plan cache directory (empty = no cache)")
 	verbose := flag.Bool("verbose", false, "print per-stage transfer lists")
 	gantt := flag.Bool("gantt", false, "render the simulated flow timeline as an ASCII chart")
 	planOut := flag.String("o", "", "write the plan as JSON to this file")
 	traceOut := flag.String("trace", "", "write the simulated flow timeline as CSV to this file")
 	flag.Parse()
 
-	if err := run(*dataset, *gpus, *scale, *seed, *planner, *chunk, *verbose, *gantt, *planOut, *traceOut); err != nil {
+	cfg := plannerConfig{chunk: *chunk, workers: *workers, batch: *batch, cacheDir: *cacheDir}
+	if err := run(*dataset, *gpus, *scale, *seed, *planner, cfg, *verbose, *gantt, *planOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dgclplan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, gpus, scale int, seed int64, planner string, chunk int, verbose, gantt bool, planOut, traceOut string) error {
+// plannerConfig groups the SPST tuning flags so run() stays readable.
+type plannerConfig struct {
+	chunk    int
+	workers  int
+	batch    int
+	cacheDir string
+}
+
+func run(dataset string, gpus, scale int, seed int64, planner string, cfg plannerConfig, verbose, gantt bool, planOut, traceOut string) error {
 	ds, err := graph.DatasetByName(dataset)
 	if err != nil {
 		return err
@@ -79,11 +91,28 @@ func run(dataset string, gpus, scale int, seed int64, planner string, chunk int,
 	var plan *core.Plan
 	switch planner {
 	case "spst", "spst-noforward":
+		opts := core.SPSTOptions{
+			Seed: seed, ChunkSize: cfg.chunk, Workers: cfg.workers, BatchSize: cfg.batch,
+			DisableForwarding: planner == "spst-noforward"}
 		var state *core.State
-		plan, state, err = core.PlanSPST(rel, topo, bytesPerVertex, core.SPSTOptions{
-			Seed: seed, ChunkSize: chunk, DisableForwarding: planner == "spst-noforward"})
-		if err != nil {
-			return err
+		if cfg.cacheDir != "" {
+			cache := core.NewPlanCache(cfg.cacheDir)
+			plan, state, err = cache.PlanSPST(rel, topo, bytesPerVertex, opts)
+			if err != nil {
+				return err
+			}
+			hits, misses := cache.Stats()
+			if hits > 0 {
+				fmt.Printf("plan cache: hit (key %.16s..., dir %s)\n",
+					core.CacheKey(rel, topo, bytesPerVertex, opts), cfg.cacheDir)
+			} else {
+				fmt.Printf("plan cache: miss, %d plan stored in %s\n", misses, cfg.cacheDir)
+			}
+		} else {
+			plan, state, err = core.PlanSPST(rel, topo, bytesPerVertex, opts)
+			if err != nil {
+				return err
+			}
 		}
 		fmt.Printf("plan: %s, %d stages, %.0f KB moved, modeled time %.3f ms\n",
 			plan.Algorithm, plan.NumStages(), float64(plan.TotalBytes())/1e3, state.Cost()*1e3)

@@ -147,6 +147,27 @@ const (
 	PlannerSteiner       Planner = "steiner"
 )
 
+// PlanOptions tunes how the SPST planner executes — parallelism and plan
+// caching. It never changes what a plan means, only how fast one is
+// produced: Workers/BatchSize trade bounded staleness for planning speed
+// (see internal/core/parallel.go), and CacheDir short-circuits planning
+// entirely when an identical (graph relation, fabric, options) input has
+// been planned before.
+type PlanOptions struct {
+	// Workers is the number of concurrent planning workers. 0 or 1 runs the
+	// paper's exact serial algorithm; larger values plan work items in
+	// waves against an immutable snapshot of the link loads.
+	Workers int
+	// BatchSize is the number of work items each worker plans per wave
+	// (default 1). Workers*BatchSize bounds how stale a worker's view of
+	// link contention can be.
+	BatchSize int
+	// CacheDir, when non-empty, persists plans to this directory keyed by a
+	// content digest of everything that determines them; warm lookups skip
+	// the planner entirely. The empty string disables caching.
+	CacheDir string
+}
+
 // Options configures Init.
 type Options struct {
 	// Planner defaults to PlannerSPST.
@@ -156,6 +177,9 @@ type Options struct {
 	// ChunkSize is the SPST vertex-chunking granularity (default 16; 1 =
 	// exact per-vertex planning).
 	ChunkSize int
+	// Plan tunes planner execution: parallel workers, wave batch size and
+	// the on-disk plan cache. The zero value plans serially, uncached.
+	Plan PlanOptions
 	// AtomicBackward disables the §6.2 non-atomic sub-stage schedule.
 	AtomicBackward bool
 	// CacheFeatures enables the §3 strategy (1): remote layer-0 features are
@@ -177,6 +201,7 @@ type System struct {
 	plan   *Plan
 	cost   float64
 	clu    *runtime.Cluster
+	pcache *core.PlanCache
 }
 
 // Init initializes the distributed communication environment for the given
@@ -224,9 +249,17 @@ func (s *System) BuildCommInfo(g *Graph, featureDim int) error {
 	switch s.opts.Planner {
 	case PlannerSPST, PlannerSPSTNoForward:
 		spstOpts := core.SPSTOptions{Seed: s.opts.Seed, ChunkSize: s.opts.ChunkSize,
+			Workers: s.opts.Plan.Workers, BatchSize: s.opts.Plan.BatchSize,
 			DisableForwarding: s.opts.Planner == PlannerSPSTNoForward}
 		var state *core.State
-		plan, state, err = core.PlanSPST(rel, s.topo, bytesPerVertex, spstOpts)
+		if s.opts.Plan.CacheDir != "" {
+			if s.pcache == nil {
+				s.pcache = core.NewPlanCache(s.opts.Plan.CacheDir)
+			}
+			plan, state, err = s.pcache.PlanSPST(rel, s.topo, bytesPerVertex, spstOpts)
+		} else {
+			plan, state, err = core.PlanSPST(rel, s.topo, bytesPerVertex, spstOpts)
+		}
 		if err != nil {
 			return err
 		}
@@ -402,6 +435,15 @@ func (s *System) PartitionAssignment() []int32 { return s.part.Assign }
 // PlannedCost returns the §5.1 modeled communication time of the plan in
 // seconds.
 func (s *System) PlannedCost() float64 { return s.cost }
+
+// PlanCacheStats returns the plan cache's hit and miss counters; both are
+// zero when no cache is configured (Options.Plan.CacheDir empty).
+func (s *System) PlanCacheStats() (hits, misses int64) {
+	if s.pcache == nil {
+		return 0, 0
+	}
+	return s.pcache.Stats()
+}
 
 // SimulateAllgatherTime runs the virtual-time network simulator over the
 // plan and returns the simulated wall time of one forward graphAllgather.

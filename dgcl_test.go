@@ -310,3 +310,73 @@ func TestCacheFeaturesViaPublicAPI(t *testing.T) {
 		t.Fatalf("feature caching changed results: %v vs %v", a, b)
 	}
 }
+
+func TestParallelPlannerViaPublicAPI(t *testing.T) {
+	// Parallel planning is aimed at multi-machine fabrics, where relations
+	// are large enough for planning time to matter and path diversity keeps
+	// the staleness cost small (see DESIGN.md for the measured envelope).
+	g := Reddit.Generate(64, 1)
+	serial := Init(TwoMachineDGX1(), Options{Seed: 1})
+	if err := serial.BuildCommInfo(g, 32); err != nil {
+		t.Fatal(err)
+	}
+	par := Init(TwoMachineDGX1(), Options{Seed: 1, Plan: PlanOptions{Workers: 4, BatchSize: 4}})
+	if err := par.BuildCommInfo(g, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Plan().Validate(par.Relation()); err != nil {
+		t.Fatal(err)
+	}
+	if r := par.PlannedCost() / serial.PlannedCost(); r > 1.5 {
+		t.Fatalf("parallel plan cost ratio %.3f vs serial", r)
+	}
+	bad := Init(DGX1(), Options{Plan: PlanOptions{Workers: -1}})
+	if err := bad.BuildCommInfo(g, 32); err == nil {
+		t.Fatal("negative Workers must fail")
+	}
+}
+
+func TestPlanCacheViaPublicAPI(t *testing.T) {
+	g := Reddit.Generate(512, 1)
+	dir := t.TempDir()
+	opts := Options{Seed: 1, Plan: PlanOptions{CacheDir: dir}}
+
+	cold := Init(DGX1(), opts)
+	if err := cold.BuildCommInfo(g, 32); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := cold.PlanCacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("cold stats = (%d, %d), want (0, 1)", hits, misses)
+	}
+
+	warm := Init(DGX1(), opts)
+	if err := warm.BuildCommInfo(g, 32); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := warm.PlanCacheStats(); hits != 1 || misses != 0 {
+		t.Fatalf("warm stats = (%d, %d), want (1, 0)", hits, misses)
+	}
+	if warm.PlannedCost() <= 0 {
+		t.Fatal("cached plan lost its cost state")
+	}
+	// The cached plan must execute: run one allgather through the runtime.
+	features := RandomFeatures(g.NumVertices(), 32, 2)
+	local, err := warm.DispatchFeatures(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.GraphAllgather(local); err != nil {
+		t.Fatal(err)
+	}
+
+	uncached := Init(DGX1(), Options{Seed: 1})
+	if err := uncached.BuildCommInfo(g, 32); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := uncached.PlanCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("no-cache stats = (%d, %d), want (0, 0)", hits, misses)
+	}
+	if warm.PlannedCost() != uncached.PlannedCost() {
+		t.Fatalf("cached cost %v != freshly planned cost %v", warm.PlannedCost(), uncached.PlannedCost())
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dgcl/internal/comm"
+	"dgcl/internal/graph"
+	"dgcl/internal/partition"
+	"dgcl/internal/topology"
+)
+
+// Planner benchmarks over three workload sizes. The CI bench-smoke tier
+// (make bench-smoke) runs every case once and records the output as
+// BENCH_plan.json; the acceptance bar is parallel-4 at least 2x faster than
+// serial on the largest workload (orkut128-32, the 4-machine 32-GPU
+// fabric). On a single-core runner the speedup is purely algorithmic — the
+// frozen-snapshot cost cache and the zero-marginal sweep (parallel.go) do
+// the work, and extra workers add wave concurrency on real machines.
+
+// benchWorkload lazily builds and caches one named (relation, topology)
+// workload; graph synthesis and partitioning dominate planning for the
+// large cases and must not be re-run per benchmark iteration.
+var benchWorkloads sync.Map // name -> *relTopo
+
+func benchWorkload(b *testing.B, name string) *relTopo {
+	b.Helper()
+	if w, ok := benchWorkloads.Load(name); ok {
+		return w.(*relTopo)
+	}
+	var g *graph.Graph
+	var topo *topology.Topology
+	var shape []int
+	switch name {
+	case "web64-16":
+		g = graph.WebGoogle.Generate(64, 1)
+		topo, _ = topology.ForGPUCount(16)
+		shape = []int{8, 8}
+	case "reddit32-16":
+		g = graph.Reddit.Generate(32, 1)
+		topo, _ = topology.ForGPUCount(16)
+		shape = []int{8, 8}
+	case "orkut128-32":
+		g = graph.ComOrkut.Generate(128, 1)
+		topo = topology.MultiMachineDGX1(4)
+		shape = []int{8, 8, 8, 8}
+	default:
+		b.Fatalf("unknown bench workload %q", name)
+	}
+	p, err := partition.Hierarchical(g, shape, partition.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel, err := comm.Build(g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &relTopo{rel: rel, topo: topo}
+	benchWorkloads.Store(name, w)
+	return w
+}
+
+func BenchmarkPlanSPST(b *testing.B) {
+	for _, name := range []string{"web64-16", "reddit32-16", "orkut128-32"} {
+		w := benchWorkload(b, name)
+		configs := []struct {
+			label string
+			opts  SPSTOptions
+		}{
+			{"serial", SPSTOptions{Seed: 1}},
+			{"parallel-2", SPSTOptions{Seed: 1, Workers: 2}},
+			{"parallel-4", SPSTOptions{Seed: 1, Workers: 4}},
+			{"parallel-4x8", SPSTOptions{Seed: 1, Workers: 4, BatchSize: 8}},
+		}
+		for _, cfg := range configs {
+			b.Run(fmt.Sprintf("%s/%s", name, cfg.label), func(b *testing.B) {
+				var cost float64
+				for i := 0; i < b.N; i++ {
+					_, state, err := PlanSPST(w.rel, w.topo, 1024, cfg.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cost = state.Cost()
+				}
+				b.ReportMetric(cost*1e3, "modeled-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkPlanCacheWarm prices a warm content-addressed lookup (hash the
+// inputs, replay the plan's cost state) against replanning from scratch.
+func BenchmarkPlanCacheWarm(b *testing.B) {
+	w := benchWorkload(b, "reddit32-16")
+	c := NewPlanCache("")
+	if _, _, err := c.PlanSPST(w.rel, w.topo, 1024, SPSTOptions{Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.PlanSPST(w.rel, w.topo, 1024, SPSTOptions{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -29,6 +29,11 @@ type Model struct {
 	chans [][]*topology.Channel
 	hops  [][][]hopSlot // [src][dst] -> directed hop slots
 	bw    []float64     // hop slot -> bandwidth (bytes/s)
+	// Reciprocals let the batched planner's frozen cost tables multiply
+	// instead of divide (see parallel.go); the serial path keeps dividing so
+	// its plans stay bit-identical across releases.
+	invBW         []float64
+	invBottleneck [][]float64 // [src][dst] -> 1 / min hop bandwidth
 }
 
 // NewModel builds a cost model for the topology.
@@ -44,14 +49,27 @@ func NewModel(topo *topology.Topology) (*Model, error) {
 		m.bw[2*c.ID] = c.Bandwidth
 		m.bw[2*c.ID+1] = c.Bandwidth
 	}
+	m.invBW = make([]float64, len(m.bw))
+	for i, bw := range m.bw {
+		if bw > 0 {
+			m.invBW[i] = 1 / bw
+		}
+	}
 	m.hops = make([][][]hopSlot, k)
+	m.invBottleneck = make([][]float64, k)
 	for s := 0; s < k; s++ {
 		m.hops[s] = make([][]hopSlot, k)
+		m.invBottleneck[s] = make([]float64, k)
 		for d := 0; d < k; d++ {
 			if s == d {
 				continue
 			}
 			m.hops[s][d] = m.directedHops(chans[s][d])
+			for _, h := range m.hops[s][d] {
+				if inv := m.invBW[h]; inv > m.invBottleneck[s][d] {
+					m.invBottleneck[s][d] = inv
+				}
+			}
 		}
 	}
 	return m, nil
@@ -167,17 +185,22 @@ func (s *State) Add(stage, src, dst int, bytes float64) {
 	}
 }
 
-// CostOfPlan evaluates the §5.1 cost model for a complete plan against the
-// model, independent of any State accumulated during planning.
-func CostOfPlan(m *Model, p *Plan) float64 {
+// ReplayState rebuilds the planner's accumulation state from a finished plan
+// by replaying every transfer, independent of any State accumulated during
+// planning. The plan cache uses it to return a cost state for cached plans.
+func ReplayState(m *Model, p *Plan) *State {
 	s := NewState(m)
 	for si, st := range p.Stages {
 		for _, t := range st {
 			s.Add(si, t.Src, t.Dst, float64(int64(len(t.Vertices))*p.BytesPerVertex))
 		}
 	}
-	return s.Cost()
+	return s
 }
+
+// CostOfPlan evaluates the §5.1 cost model for a complete plan against the
+// model.
+func CostOfPlan(m *Model, p *Plan) float64 { return ReplayState(m, p).Cost() }
 
 // LinkClassBreakdown computes, for a plan, the modeled time attributable to
 // NVLink hops versus all other hop types (Table 7 / Table 2 style

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dgcl/internal/comm"
+	"dgcl/internal/graph"
+	"dgcl/internal/topology"
+)
+
+// Golden-plan regression tests: the planner's exact output for fixed seeded
+// workloads is pinned byte-for-byte against JSON files in testdata/golden.
+// Any change to shuffling, tie-breaking, cost arithmetic or serialization
+// shows up as a diff here — deliberate planner changes must regenerate the
+// files with
+//
+//	go test ./internal/core/ -run TestGoldenPlans -update
+//
+// and justify the diff in review.
+
+var updateGolden = flag.Bool("update", false, "rewrite golden plan files instead of comparing")
+
+// goldenCases are the pinned workloads: one community graph on the DGX-1 and
+// one power-law graph on the two-machine fabric, across the serial planner,
+// both ablations, and a batched-parallel configuration.
+func goldenCases(t *testing.T) []struct {
+	name string
+	rel  relTopo
+	opts SPSTOptions
+} {
+	t.Helper()
+	dgx := relTopo{topo: topology.DGX1()}
+	dgx.rel = partitionFor(t, graph.CommunityGraph(500, 12, 8, 0.85, 11), dgx.topo, 11)
+	dual := relTopo{topo: topology.TwoMachineDGX1()}
+	dual.rel = partitionFor(t, graph.RMAT(512, 4096, 0.57, 0.19, 0.19, 11), dual.topo, 11)
+	return []struct {
+		name string
+		rel  relTopo
+		opts SPSTOptions
+	}{
+		{"community-dgx1-serial", dgx, SPSTOptions{Seed: 11}},
+		{"community-dgx1-chunk4", dgx, SPSTOptions{Seed: 11, ChunkSize: 4}},
+		{"community-dgx1-noforward", dgx, SPSTOptions{Seed: 11, DisableForwarding: true}},
+		{"community-dgx1-sourcetree", dgx, SPSTOptions{Seed: 11, TreePerSource: true}},
+		{"community-dgx1-w4b4", dgx, SPSTOptions{Seed: 11, Workers: 4, BatchSize: 4}},
+		{"rmat-dual16-serial", dual, SPSTOptions{Seed: 11}},
+		{"rmat-dual16-w4b4", dual, SPSTOptions{Seed: 11, Workers: 4, BatchSize: 4}},
+	}
+}
+
+type relTopo struct {
+	rel  *comm.Relation
+	topo *topology.Topology
+}
+
+func TestGoldenPlans(t *testing.T) {
+	for _, tc := range goldenCases(t) {
+		plan, _, err := PlanSPST(tc.rel.rel, tc.rel.topo, 1024, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := planJSONBytes(t, plan)
+		path := filepath.Join("testdata", "golden", tc.name+".json")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (run with -update to create): %v", tc.name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: plan differs from golden file %s (rerun with -update if the change is deliberate)",
+				tc.name, path)
+		}
+	}
+}
+
+// TestGoldenPlansAreValid guards the golden files themselves: each must
+// deserialize and validate against its relation, so a stale or hand-edited
+// file cannot silently become the reference.
+func TestGoldenPlansAreValid(t *testing.T) {
+	for _, tc := range goldenCases(t) {
+		path := filepath.Join("testdata", "golden", tc.name+".json")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		plan, err := ReadPlanJSON(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: golden file does not deserialize: %v", tc.name, err)
+		}
+		if err := plan.Validate(tc.rel.rel); err != nil {
+			t.Errorf("%s: golden plan invalid for its relation: %v", tc.name, err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"dgcl/internal/comm"
 	"dgcl/internal/topology"
@@ -37,14 +38,54 @@ type SPSTOptions struct {
 	// tree (ablation: isolates the value of per-vertex strategy flexibility
 	// and communication fusion).
 	TreePerSource bool
+	// Workers is the number of concurrent planning workers. 1 (or 0, the
+	// default) with BatchSize<=1 runs the exact serial algorithm; larger
+	// values shard work items into waves planned against an immutable
+	// snapshot of the link loads (see parallel.go for the staleness model).
+	Workers int
+	// BatchSize is the number of work items each worker plans per wave
+	// (default 1). Workers*BatchSize is the staleness window: link loads are
+	// committed between waves, so items within one wave do not see each
+	// other's load. Larger batches amortize wave synchronization on many-core
+	// machines at a small plan-quality cost.
+	BatchSize int
 }
 
 func (o SPSTOptions) withDefaults() SPSTOptions {
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = 16
 	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
 	return o
 }
+
+// Validate rejects option values that would otherwise plan garbage. Zero
+// values are legal (they select defaults); negative ones are errors.
+func (o SPSTOptions) Validate() error {
+	if o.ChunkSize < 0 {
+		return fmt.Errorf("core: SPSTOptions.ChunkSize must be >= 0, got %d", o.ChunkSize)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: SPSTOptions.Workers must be >= 0, got %d", o.Workers)
+	}
+	if o.BatchSize < 0 {
+		return fmt.Errorf("core: SPSTOptions.BatchSize must be >= 0, got %d", o.BatchSize)
+	}
+	return nil
+}
+
+// planInvocations counts tree-search planner runs (not cache hits); tests and
+// the plan cache use it to assert that warm lookups skip planning entirely.
+var planInvocations atomic.Int64
+
+// PlanInvocations returns the number of times the SPST tree search has
+// actually run in this process. PlanCache hits do not increment it.
+func PlanInvocations() int64 { return planInvocations.Load() }
 
 // workItem is one planning unit: a set of same-class vertices routed
 // together.
@@ -61,18 +102,40 @@ func PlanSPST(rel *comm.Relation, topo *topology.Topology, bytesPerVertex int64,
 	if topo.NumGPUs() != rel.K {
 		return nil, nil, fmt.Errorf("core: topology has %d GPUs, relation %d", topo.NumGPUs(), rel.K)
 	}
+	if bytesPerVertex < 1 {
+		return nil, nil, fmt.Errorf("core: bytesPerVertex must be >= 1, got %d", bytesPerVertex)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
 	opts = opts.withDefaults()
 	m, err := NewModel(topo)
 	if err != nil {
 		return nil, nil, err
 	}
+	planInvocations.Add(1)
 	items := buildWorkItems(rel, opts)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
 
-	state := NewState(m)
 	pb := newPlanBuilder(rel.K)
-	sp := newTreeSearch(rel.K)
+	var state *State
+	// Forwarding-free plans never read link state, so the serial loop is
+	// already exact and parallelism has nothing to hide latency behind.
+	if opts.DisableForwarding || (opts.Workers <= 1 && opts.BatchSize <= 1) {
+		state = planSerial(m, items, bytesPerVertex, opts, pb)
+	} else {
+		state = planWaves(m, items, bytesPerVertex, opts, pb)
+	}
+	plan := pb.build(bytesPerVertex, algName(opts))
+	return plan, state, nil
+}
+
+// planSerial is the paper's one-item-at-a-time loop: every tree search sees
+// the fully up-to-date link loads, including earlier edges of its own item.
+func planSerial(m *Model, items []workItem, bytesPerVertex int64, opts SPSTOptions, pb *planBuilder) *State {
+	state := NewState(m)
+	sp := newTreeSearch(m.K)
 	for _, it := range items {
 		weight := float64(int64(len(it.vertices)) * bytesPerVertex)
 		if opts.DisableForwarding {
@@ -84,8 +147,7 @@ func PlanSPST(rel *comm.Relation, topo *topology.Topology, bytesPerVertex int64,
 		}
 		sp.growTree(state, it, weight, pb)
 	}
-	plan := pb.build(bytesPerVertex, algName(opts))
-	return plan, state, nil
+	return state
 }
 
 func algName(opts SPSTOptions) string {

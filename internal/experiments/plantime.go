@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dgcl/internal/core"
+	"dgcl/internal/graph"
+)
+
+// PlanTime measures planner runtime (the one place wall-clock is allowed,
+// see DESIGN.md conventions): serial SPST, batched-parallel SPST, and a warm
+// content-addressed cache hit, plus the modeled-cost ratio the parallel plan
+// pays for its speed. The parallel speedup on a single-core runner comes
+// from the frozen-snapshot cost cache, not concurrency; on multi-core
+// machines the waves additionally overlap.
+func PlanTime(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := &Report{ID: "plantime", Title: "SPST planning wall time: serial vs batched-parallel vs warm cache",
+		Header: []string{"Dataset", "GPUs", "Serial(ms)", "W2(ms)", "W4(ms)", "W4 speedup", "W4 cost ratio", "Warm cache(ms)"}}
+	for _, ds := range []graph.Dataset{graph.Reddit, graph.WebGoogle} {
+		w, err := buildWorkload(cfg, ds, 16)
+		if err != nil {
+			return nil, err
+		}
+		bytesPerVertex := int64(ds.FeatureDim) * 4
+
+		plan := func(workers int) (float64, float64, error) {
+			opts := core.SPSTOptions{Seed: cfg.Seed, Workers: workers}
+			start := time.Now()
+			_, state, err := core.PlanSPST(w.rel, w.topo, bytesPerVertex, opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			return time.Since(start).Seconds(), state.Cost(), nil
+		}
+		serialT, serialCost, err := plan(1)
+		if err != nil {
+			return nil, err
+		}
+		w2T, _, err := plan(2)
+		if err != nil {
+			return nil, err
+		}
+		w4T, w4Cost, err := plan(4)
+		if err != nil {
+			return nil, err
+		}
+
+		cache := core.NewPlanCache("")
+		opts := core.SPSTOptions{Seed: cfg.Seed}
+		if _, _, err := cache.PlanSPST(w.rel, w.topo, bytesPerVertex, opts); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, _, err := cache.PlanSPST(w.rel, w.topo, bytesPerVertex, opts); err != nil {
+			return nil, err
+		}
+		warmT := time.Since(start).Seconds()
+
+		r.Rows = append(r.Rows, []string{ds.Name, "16",
+			ms(serialT), ms(w2T), ms(w4T),
+			fmt.Sprintf("%.2fx", serialT/w4T),
+			fmt.Sprintf("%.3f", w4Cost/serialCost),
+			ms(warmT)})
+	}
+	r.Notes = append(r.Notes,
+		"parallel plans trade bounded staleness for speed; the cost ratio is the quality price (tolerances pinned in internal/core tests)",
+		"warm cache replays a stored plan through the cost model without invoking the tree search at all")
+	return r, nil
+}

@@ -57,43 +57,3 @@ func TestEvaluateAndString(t *testing.T) {
 		t.Fatal("String missing fields")
 	}
 }
-
-func TestStreamingPartitioner(t *testing.T) {
-	g := graph.Grid2D(24, 24)
-	p := Streaming(g, 4, 1)
-	if err := p.Validate(g); err != nil {
-		t.Fatal(err)
-	}
-	if b := p.Balance(); b > 1.25 {
-		t.Fatalf("LDG balance %f too loose", b)
-	}
-	// Quality sits between hash and multilevel on structured graphs.
-	hashCut := Hash(g, 4).EdgeCut(g)
-	ldgCut := p.EdgeCut(g)
-	ml, err := KWay(g, 4, Options{Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	mlCut := ml.EdgeCut(g)
-	if ldgCut >= hashCut {
-		t.Fatalf("LDG cut %d should beat hash %d", ldgCut, hashCut)
-	}
-	if mlCut > ldgCut {
-		// Multilevel should be at least as good; it is allowed to tie.
-		t.Logf("note: multilevel %d vs LDG %d", mlCut, ldgCut)
-	}
-}
-
-func TestStreamingDeterministic(t *testing.T) {
-	g := graph.CommunityGraph(400, 10, 4, 0.8, 3)
-	a := Streaming(g, 4, 7)
-	b := Streaming(g, 4, 7)
-	for v := range a.Assign {
-		if a.Assign[v] != b.Assign[v] {
-			t.Fatal("same seed must give same streaming partition")
-		}
-	}
-	if Streaming(g, 0, 1).K != 1 {
-		t.Fatal("k<1 should clamp to 1")
-	}
-}

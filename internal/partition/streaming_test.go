@@ -1,0 +1,130 @@
+package partition
+
+import (
+	"testing"
+
+	"dgcl/internal/graph"
+)
+
+// Direct unit tests for the LDG streaming partitioner: balance bounds,
+// determinism, locality quality versus hash, and the degenerate inputs
+// (empty graph, more parts than vertices, k < 1).
+
+func TestStreamingBalanceBound(t *testing.T) {
+	g := graph.CommunityGraph(1000, 12, 8, 0.8, 1)
+	for _, k := range []int{2, 4, 8, 16} {
+		p := Streaming(g, k, 1)
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// LDG only places a vertex on a part below capacity n/k+1, so no part
+		// can exceed it by more than the final placement.
+		capacity := g.NumVertices()/k + 2
+		for part, size := range p.Sizes() {
+			if size > capacity {
+				t.Errorf("k=%d: part %d has %d vertices, capacity bound %d", k, part, size, capacity)
+			}
+			if size == 0 && g.NumVertices() >= k {
+				t.Errorf("k=%d: part %d is empty", k, part)
+			}
+		}
+	}
+}
+
+func TestStreamingDeterministic(t *testing.T) {
+	g := graph.RMAT(512, 4096, 0.57, 0.19, 0.19, 2)
+	a := Streaming(g, 8, 7)
+	b := Streaming(g, 8, 7)
+	for v := range a.Assign {
+		if a.Assign[v] != b.Assign[v] {
+			t.Fatalf("same seed diverged at vertex %d: %d vs %d", v, a.Assign[v], b.Assign[v])
+		}
+	}
+	c := Streaming(g, 8, 8)
+	same := 0
+	for v := range a.Assign {
+		if a.Assign[v] == c.Assign[v] {
+			same++
+		}
+	}
+	if same == len(a.Assign) {
+		t.Error("different seeds produced identical assignments (stream order not seeded?)")
+	}
+}
+
+// TestStreamingBeatsHashOnCommunities: the point of LDG over hash is
+// locality — on a community graph it must cut meaningfully fewer edges.
+func TestStreamingBeatsHashOnCommunities(t *testing.T) {
+	g := graph.CommunityGraph(2000, 16, 16, 0.9, 3)
+	k := 8
+	ldg := Streaming(g, k, 3).EdgeCut(g)
+	hash := Hash(g, k).EdgeCut(g)
+	if ldg >= hash {
+		t.Errorf("LDG cut %d not better than hash cut %d", ldg, hash)
+	}
+}
+
+// TestStreamingQualityOnGrid: quality sits between hash and multilevel on
+// structured graphs, with balance within the LDG capacity slack.
+func TestStreamingQualityOnGrid(t *testing.T) {
+	g := graph.Grid2D(24, 24)
+	p := Streaming(g, 4, 1)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if b := p.Balance(); b > 1.25 {
+		t.Fatalf("LDG balance %f too loose", b)
+	}
+	hashCut := Hash(g, 4).EdgeCut(g)
+	ldgCut := p.EdgeCut(g)
+	ml, err := KWay(g, 4, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldgCut >= hashCut {
+		t.Fatalf("LDG cut %d should beat hash %d", ldgCut, hashCut)
+	}
+	if mlCut := ml.EdgeCut(g); mlCut > ldgCut {
+		// Multilevel should be at least as good; it is allowed to tie.
+		t.Logf("note: multilevel %d vs LDG %d", mlCut, ldgCut)
+	}
+}
+
+func TestStreamingEmptyGraph(t *testing.T) {
+	g := graph.MustFromEdges(0, nil, false)
+	p := Streaming(g, 4, 1)
+	if p.K != 4 || len(p.Assign) != 0 {
+		t.Fatalf("empty graph: got K=%d, %d assignments", p.K, len(p.Assign))
+	}
+}
+
+func TestStreamingMorePartsThanVertices(t *testing.T) {
+	g := graph.Ring(3)
+	p := Streaming(g, 16, 1)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for v, part := range p.Assign {
+		if part < 0 || part >= 16 {
+			t.Fatalf("vertex %d assigned to out-of-range part %d", v, part)
+		}
+	}
+	for part, size := range p.Sizes() {
+		if size > 2 {
+			t.Errorf("part %d has %d of only 3 vertices", part, size)
+		}
+	}
+}
+
+func TestStreamingClampsK(t *testing.T) {
+	g := graph.Ring(8)
+	p := Streaming(g, 0, 1)
+	if p.K != 1 {
+		t.Fatalf("k=0 should clamp to 1 part, got %d", p.K)
+	}
+	for v, part := range p.Assign {
+		if part != 0 {
+			t.Fatalf("vertex %d not in the single part: %d", v, part)
+		}
+	}
+}
