@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race fuzz vet check bench-smoke
+.PHONY: all build test race fuzz vet lint check bench-smoke
 
 all: build test
 
@@ -19,6 +19,14 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Lint tier: gofmt hygiene plus the project's own analyzer suite (dgclvet,
+# internal/analysis) enforcing the determinism/concurrency/error invariants
+# DESIGN.md §9 documents. Exit 1 = findings, exit 2 = load failure.
+lint: vet
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) run ./cmd/dgclvet ./...
+
 # Bench-smoke tier: one iteration of every planner benchmark (serial,
 # parallel waves, warm cache), recorded as BENCH_plan.json for trend
 # tracking. -benchtime 1x keeps it fast enough for CI.
@@ -32,4 +40,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadPlanJSON -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzPlanJSONRoundTrip -fuzztime=$(FUZZTIME) ./internal/core/
 
-check: vet build test race
+check: vet lint build test race

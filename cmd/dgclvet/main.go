@@ -1,0 +1,44 @@
+// Command dgclvet is the multichecker driver for the dgclvet analyzer suite
+// (internal/analysis): project-specific static checks that enforce the
+// planner's determinism and the runtime's concurrency/error invariants.
+//
+// Usage:
+//
+//	dgclvet [-only name1,name2] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit status
+// is 0 when clean, 1 when any analyzer reported a finding, 2 when packages
+// failed to load or type-check. Findings are suppressed per line with
+// //dgclvet:ignore <analyzers> <justification>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dgcl/internal/analysis/dgclvet"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range dgclvet.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	analyzers, err := dgclvet.Select(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgclvet: %v\n", err)
+		os.Exit(dgclvet.ExitLoadError)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(dgclvet.Main(".", patterns, analyzers, os.Stdout))
+}

@@ -1,0 +1,198 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// built entirely on the standard library's go/ast, go/parser and go/types.
+// The module deliberately has no external dependencies, so the x/tools
+// framework itself is not available; this package mirrors its shape closely
+// enough that the dgclvet analyzers could be ported to the real framework by
+// swapping the import.
+//
+// The suite exists because the repository stakes correctness on invariants
+// no compiler checks: SPST plans must be bit-identical per configuration,
+// gradient aggregation must use a fixed reduction order, and every transport
+// op must be context-bounded and leak-free. The analyzers in the
+// sub-packages encode those invariants; the dynamic test tiers (golden
+// plans, the W1B1 equivalence battery, the chaos suite) backstop them at
+// runtime. See DESIGN.md §9.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //dgclvet:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// AppliesTo restricts the analyzer to packages for which it returns
+	// true. Nil means every package. The multichecker driver consults it;
+	// Package.Run does not, so tests can exercise an analyzer on testdata
+	// packages outside its production scope.
+	AppliesTo func(pkgPath string) bool
+	// Run performs the check on one package, reporting findings through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass provides one analyzer run with a type-checked package and a
+// diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when unknown (e.g. in a
+// package that did not fully type-check).
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.TypesInfo.ObjectOf(id) }
+
+// Package is a parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker complaints. Analysis still runs on
+	// partially-checked packages; the driver surfaces these separately.
+	TypeErrors []error
+}
+
+// Run executes the analyzers on the package and returns their findings with
+// //dgclvet:ignore directives applied, sorted by position. It does not
+// consult Analyzer.AppliesTo — scoping is the driver's concern.
+func (pkg *Package) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
+			Pkg: pkg.Types, TypesInfo: pkg.Info, diags: &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = pkg.filterIgnored(diags)
+	diags = dedup(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// dedup drops diagnostics identical in (pos, analyzer, message). Nested
+// constructs (a map range inside a map range) can legitimately report the
+// same statement twice; one finding is enough.
+func dedup(diags []Diagnostic) []Diagnostic {
+	seen := make(map[Diagnostic]bool, len(diags))
+	kept := diags[:0]
+	for _, d := range diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// IgnoreDirective is the comment prefix that suppresses findings:
+//
+//	//dgclvet:ignore name1,name2 justification...
+//
+// The first token after the prefix is a comma-separated analyzer list ("all"
+// or an empty list suppresses every analyzer). The directive applies to its
+// own source line and the line immediately below, so it works both as a
+// trailing comment and as a standalone comment above the flagged statement.
+const IgnoreDirective = "dgclvet:ignore"
+
+// ignoreKey identifies one suppressed (file, line).
+type ignoreKey struct {
+	file string
+	line int
+}
+
+func (pkg *Package) filterIgnored(diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	ignored := make(map[ignoreKey][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnoreDirective))
+				names := []string{"all"}
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					names = strings.Split(fields[0], ",")
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := ignoreKey{pos.Filename, line}
+					ignored[k] = append(ignored[k], names...)
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		names := ignored[ignoreKey{pos.Filename, pos.Line}]
+		suppressed := false
+		for _, n := range names {
+			if n == "all" || n == d.Analyzer {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

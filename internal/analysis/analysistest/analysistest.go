@@ -1,0 +1,116 @@
+// Package analysistest runs a dgclvet analyzer over a testdata package and
+// checks its diagnostics against expectations written in the source, in the
+// style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	badSend(ch) // want "channel send outside a cancellable select"
+//
+// A `// want` comment holds one or more quoted Go strings, each a regular
+// expression. Every expectation must be matched by a diagnostic reported on
+// the same line, and every diagnostic must be matched by an expectation —
+// unmatched items in either direction fail the test. This makes each
+// testdata file simultaneously the positive corpus (lines with wants) and
+// the negative corpus (lines without).
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dgcl/internal/analysis"
+)
+
+// expectation is one `want` regexp at a source line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> (relative to the calling test's directory),
+// runs the analyzer over it, and reports mismatches between diagnostics and
+// `// want` expectations through t.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	p, err := analysis.DefaultLoader().LoadDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := p.Run([]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, pkg, err)
+	}
+	wants, err := parseWants(p)
+	if err != nil {
+		t.Fatalf("parse want comments in %s: %v", dir, err)
+	}
+
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		if w := match(wants, pos.Filename, pos.Line, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// match returns the first unmatched expectation at (file, line) whose regexp
+// matches msg, or nil.
+func match(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWants extracts the `// want "re" ["re" ...]` expectations from every
+// file of the package.
+func parseWants(p *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: malformed want comment %q: %v",
+							pos.Filename, pos.Line, c.Text, err)
+					}
+					raw, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: unquote %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants, nil
+}

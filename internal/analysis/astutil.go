@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Shared AST/type predicates the dgclvet analyzers compose. They live here
+// so every analyzer answers "is this send cancellable", "is this variable
+// declared outside that loop" the same way.
+
+// InspectStack walks the AST in depth-first order, calling fn with each node
+// and the stack of its ancestors (outermost first, not including n itself).
+// Returning false skips the node's children.
+func InspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// EnclosingFuncDecl returns the innermost *ast.FuncDecl on the stack (Go has
+// no nested FuncDecls, so "innermost" is "the" declaration), or nil when the
+// node is not inside a function declaration.
+func EnclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// EnclosingFuncBody returns the body of the innermost function (declaration
+// or literal) on the stack, or nil.
+func EnclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// InnermostLoopBody returns the body of the innermost for/range statement on
+// the stack whose body encloses pos, or nil when pos is not inside a loop
+// body (being inside a loop's init/cond/post does not count).
+func InnermostLoopBody(stack []ast.Node, pos token.Pos) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var body *ast.BlockStmt
+		switch l := stack[i].(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		default:
+			continue
+		}
+		if body != nil && body.Pos() <= pos && pos <= body.End() {
+			return body
+		}
+	}
+	return nil
+}
+
+// DeclaredOutside reports whether the object behind id is declared outside
+// the [lo, hi] position range — i.e. the identifier refers to state that
+// survives the region (a loop body, a range statement) rather than a
+// region-local temporary.
+func DeclaredOutside(pass *Pass, id *ast.Ident, lo, hi token.Pos) bool {
+	obj := pass.ObjectOf(id)
+	if obj == nil || obj.Pos() == token.NoPos {
+		return false
+	}
+	return obj.Pos() < lo || obj.Pos() > hi
+}
+
+// RootIdent returns the leftmost identifier of an expression like a, a.b,
+// a.b[i].c, or (*a).b — the variable whose storage the expression reaches —
+// or nil when the expression has no identifier root (e.g. a call result).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// InCancellableSelect reports whether the channel operation op (a SendStmt,
+// or a receive expression possibly wrapped in an assignment or expression
+// statement) is the *communication* of a select clause that has an escape:
+// at least one other case or a default. A single-case select without default
+// blocks exactly like the bare operation and does not count, and an op in a
+// clause's body (as opposed to its communication) does not count either.
+func InCancellableSelect(stack []ast.Node, op ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.CommClause:
+			// CommClause children include both the communication and the
+			// clause body statements; only the communication is guarded.
+			if s.Comm == nil || op.Pos() < s.Comm.Pos() || op.End() > s.Comm.End() {
+				return false
+			}
+			// The clause's parent chain is SelectStmt -> BlockStmt (the
+			// select body) -> CommClause.
+			if i > 1 {
+				if sel, ok := stack[i-2].(*ast.SelectStmt); ok {
+					return len(sel.Body.List) >= 2
+				}
+			}
+			return false
+		case *ast.AssignStmt, *ast.ExprStmt:
+			// `v := <-ch` or a bare receive statement may itself be the
+			// clause communication; keep climbing.
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// IsChanReceive reports whether e is a receive from a channel-typed operand.
+func IsChanReceive(pass *Pass, e ast.Expr) bool {
+	u, ok := e.(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	t := pass.TypeOf(u.X)
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// IsFloat reports whether t is (an alias of) float32 or float64.
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsString reports whether t is (an alias of) string.
+func IsString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// IsPkgCall reports whether call invokes pkgPath.name (a package-level
+// function accessed through its import), e.g. IsPkgCall(pass, call, "fmt",
+// "Errorf").
+func IsPkgCall(pass *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// PkgFuncName returns (pkgPath, funcName) when call invokes a package-level
+// function through an import selector, else ("", "").
+func PkgFuncName(pass *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// IsNamedType reports whether t (or the pointee of a pointer t) is the named
+// type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// HasDirective reports whether the comment group contains the given
+// dgclvet directive (e.g. "dgclvet:detreduce").
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+		if strings.HasPrefix(text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// IsErrorType reports whether t implements the error interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType)
+}

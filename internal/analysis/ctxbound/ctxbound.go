@@ -1,0 +1,153 @@
+// Package ctxbound implements the dgclvet analyzer that keeps every
+// blocking path in the graphAllgather runtime and the collective layer
+// context-bounded.
+//
+// The PR-1 failure-semantics contract is that a lost message becomes a
+// structured error within the caller's deadline — never a hung collective.
+// That holds only while every potentially-blocking operation can observe
+// cancellation. The analyzer enforces four local rules in internal/runtime
+// and internal/collective:
+//
+//   - C1: a channel send must be the communication of a select with an
+//     escape (another case or a default); a bare `ch <- v` can block
+//     forever with no way to cancel it.
+//   - C2: likewise for channel receives outside a cancellable select.
+//   - C3: time.Sleep is forbidden — sleeping code holds its goroutine past
+//     cancellation; select on time.After and ctx.Done() instead.
+//   - C4: when a context is in scope and the callee has a "...Context"
+//     variant, the variant must be used — calling the Background-context
+//     convenience wrapper silently unbinds the operation from the caller's
+//     deadline.
+package ctxbound
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dgcl/internal/analysis"
+)
+
+// Analyzer is the ctxbound analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxbound",
+	Doc: "flags transport/collective code that can block without observing " +
+		"cancellation: bare channel ops, time.Sleep, and calls that drop an in-scope context",
+	AppliesTo: func(pkgPath string) bool {
+		return pkgPath == "dgcl/internal/runtime" || pkgPath == "dgcl/internal/collective"
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.InspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SendStmt:
+				if !analysis.InCancellableSelect(stack, x) {
+					pass.Reportf(x.Pos(),
+						"channel send outside a cancellable select can block forever; "+
+							"select on the send and ctx.Done()")
+				}
+			case *ast.UnaryExpr:
+				if analysis.IsChanReceive(pass, x) && !analysis.InCancellableSelect(stack, x) {
+					pass.Reportf(x.Pos(),
+						"channel receive outside a cancellable select can block forever; "+
+							"select on the receive and ctx.Done()")
+				}
+			case *ast.CallExpr:
+				checkCall(pass, x, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	if analysis.IsPkgCall(pass, call, "time", "Sleep") {
+		pass.Reportf(call.Pos(),
+			"time.Sleep cannot observe cancellation; select on time.After and ctx.Done()")
+		return
+	}
+	// C4: prefer the ...Context variant when a context is in scope.
+	if !ctxInScope(pass, stack) || passesContext(pass, call) {
+		return
+	}
+	name, hasVariant := contextVariant(pass, call)
+	if hasVariant {
+		pass.Reportf(call.Pos(),
+			"call to %s ignores the in-scope context; use %sContext so the operation "+
+				"stays bounded by the caller's deadline", name, name)
+	}
+}
+
+// ctxInScope reports whether the innermost enclosing function declaration or
+// literal has a context.Context parameter.
+func ctxInScope(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = f.Type
+		case *ast.FuncLit:
+			ft = f.Type
+		default:
+			continue
+		}
+		if ft.Params != nil {
+			for _, field := range ft.Params.List {
+				if analysis.IsContextType(pass.TypeOf(field.Type)) {
+					return true
+				}
+			}
+		}
+		// Keep climbing: a closure captures any ctx parameter of the
+		// functions it is nested in.
+	}
+	return false
+}
+
+// passesContext reports whether any argument of the call is a context.
+func passesContext(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if analysis.IsContextType(pass.TypeOf(arg)) {
+			return true
+		}
+	}
+	return false
+}
+
+// contextVariant returns the callee's display name and whether a sibling
+// named <callee>Context exists: a method on the same receiver type, or a
+// package-level function in the callee's package.
+func contextVariant(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			recv := sel.Recv()
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, sel.Obj().Pkg(), fun.Sel.Name+"Context")
+			if _, isFunc := obj.(*types.Func); isFunc {
+				return fun.Sel.Name, true
+			}
+			return "", false
+		}
+		// Package-qualified function call: look the sibling up in the
+		// imported package's scope.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok {
+				if _, isFunc := pn.Imported().Scope().Lookup(fun.Sel.Name + "Context").(*types.Func); isFunc {
+					return id.Name + "." + fun.Sel.Name, true
+				}
+			}
+		}
+	case *ast.Ident:
+		fn, ok := pass.ObjectOf(fun).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return "", false
+		}
+		if _, isFunc := fn.Pkg().Scope().Lookup(fun.Name + "Context").(*types.Func); isFunc {
+			return fun.Name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package ctxbound_test
+
+import (
+	"testing"
+
+	"dgcl/internal/analysis/analysistest"
+	"dgcl/internal/analysis/ctxbound"
+)
+
+func TestCtxbound(t *testing.T) {
+	analysistest.Run(t, ctxbound.Analyzer, "a")
+}

@@ -1,0 +1,120 @@
+// Package a is the ctxbound analysistest fixture.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+// bareSend can block forever.
+func bareSend(ch chan int) {
+	ch <- 1 // want "channel send outside a cancellable select"
+}
+
+// bareRecv can block forever.
+func bareRecv(ch chan int) int {
+	return <-ch // want "channel receive outside a cancellable select"
+}
+
+// guarded is the sanctioned pattern: the op is a select communication with
+// an escape clause.
+func guarded(ctx context.Context, ch chan int) error {
+	select {
+	case ch <- 1:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// guardedRecv receives under a deadline escape.
+func guardedRecv(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// nonBlocking uses default as the escape.
+func nonBlocking(ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// singleClause blocks exactly like the bare send: one case, no default.
+func singleClause(ch chan int) {
+	select {
+	case ch <- 1: // want "channel send outside a cancellable select"
+	}
+}
+
+// clauseBody: only the clause communication is guarded, not ops in the body.
+func clauseBody(ctx context.Context, in, out chan int) {
+	select {
+	case <-ctx.Done():
+	case v := <-in:
+		out <- v // want "channel send outside a cancellable select"
+	}
+}
+
+// sleepy holds its goroutine past cancellation.
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "time.Sleep cannot observe cancellation"
+}
+
+// Op is a Background-context convenience wrapper.
+func Op() error { return OpContext(context.Background()) }
+
+// OpContext is the context-bounded variant.
+func OpContext(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+type conn struct{}
+
+func (c *conn) Ping() error { return c.PingContext(context.Background()) }
+
+func (c *conn) PingContext(ctx context.Context) error { return ctx.Err() }
+
+// dropsCtx has a context in scope but calls the unbounded variants.
+func dropsCtx(ctx context.Context, c *conn) error {
+	if err := Op(); err != nil { // want "call to Op ignores the in-scope context"
+		return err
+	}
+	return c.Ping() // want "call to Ping ignores the in-scope context"
+}
+
+// threadsCtx uses the Context variants; nothing fires.
+func threadsCtx(ctx context.Context, c *conn) error {
+	if err := OpContext(ctx); err != nil {
+		return err
+	}
+	return c.PingContext(ctx)
+}
+
+// noCtxInScope has no context to drop; the wrapper call is fine.
+func noCtxInScope(c *conn) error {
+	if err := Op(); err != nil {
+		return err
+	}
+	return c.Ping()
+}
+
+// closureCapture: a closure captures the outer context, so dropping it still
+// fires inside the literal.
+func closureCapture(ctx context.Context, c *conn) func() error {
+	return func() error {
+		return c.Ping() // want "call to Ping ignores the in-scope context"
+	}
+}

@@ -1,0 +1,115 @@
+// Package dgclvet assembles the dgclvet analyzer suite and implements the
+// multichecker driver logic behind cmd/dgclvet.
+//
+// The suite enforces the invariants the repository's dynamic tiers (golden
+// plans, the W1B1 equivalence battery, the chaos suite) can only sample:
+// deterministic plan/serialization order, fixed float reduction order,
+// context-bounded blocking, leak-free goroutine launches, and the per-GPU
+// error wrapping discipline. See DESIGN.md §9.
+package dgclvet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dgcl/internal/analysis"
+	"dgcl/internal/analysis/ctxbound"
+	"dgcl/internal/analysis/errwrap"
+	"dgcl/internal/analysis/floatorder"
+	"dgcl/internal/analysis/goleaklite"
+	"dgcl/internal/analysis/mapdet"
+)
+
+// Analyzers is the full suite, in report order.
+var Analyzers = []*analysis.Analyzer{
+	ctxbound.Analyzer,
+	errwrap.Analyzer,
+	floatorder.Analyzer,
+	goleaklite.Analyzer,
+	mapdet.Analyzer,
+}
+
+// Exit codes of Main, mirroring the x/tools multichecker convention.
+const (
+	ExitClean     = 0 // no findings
+	ExitFindings  = 1 // at least one diagnostic
+	ExitLoadError = 2 // packages failed to load or type-check
+)
+
+// Select returns the analyzers whose names appear in the comma-separated
+// list, or the full suite when the list is empty. Unknown names are an
+// error.
+func Select(only string) ([]*analysis.Analyzer, error) {
+	if strings.TrimSpace(only) == "" {
+		return Analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(Analyzers))
+	for _, a := range Analyzers {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(Names(), ", "))
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// Names returns the sorted analyzer names.
+func Names() []string {
+	names := make([]string, len(Analyzers))
+	for i, a := range Analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Main loads the packages matched by patterns (relative to dir), runs each
+// selected analyzer over the packages it applies to, prints findings to w as
+// "file:line:col: analyzer: message", and returns the exit code.
+func Main(dir string, patterns []string, analyzers []*analysis.Analyzer, w io.Writer) int {
+	pkgs, err := analysis.DefaultLoader().Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(w, "dgclvet: %v\n", err)
+		return ExitLoadError
+	}
+	exit := ExitClean
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			for _, te := range pkg.TypeErrors {
+				fmt.Fprintf(w, "dgclvet: %s: %v\n", pkg.Path, te)
+			}
+			exit = ExitLoadError
+			continue
+		}
+		applicable := make([]*analysis.Analyzer, 0, len(analyzers))
+		for _, a := range analyzers {
+			if a.AppliesTo == nil || a.AppliesTo(pkg.Path) {
+				applicable = append(applicable, a)
+			}
+		}
+		if len(applicable) == 0 {
+			continue
+		}
+		diags, err := pkg.Run(applicable)
+		if err != nil {
+			fmt.Fprintf(w, "dgclvet: %v\n", err)
+			return ExitLoadError
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Fprintf(w, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+			if exit == ExitClean {
+				exit = ExitFindings
+			}
+		}
+	}
+	return exit
+}

@@ -1,0 +1,94 @@
+package dgclvet
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSuiteRegistered(t *testing.T) {
+	if len(Analyzers) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(Analyzers))
+	}
+	seen := map[string]bool{}
+	for _, a := range Analyzers {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"mapdet", "floatorder", "ctxbound", "goleaklite", "errwrap"} {
+		if !seen[want] {
+			t.Errorf("analyzer %q not registered", want)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(Analyzers) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want full suite", len(all), err)
+	}
+	two, err := Select("mapdet, errwrap")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select subset = %d analyzers, err %v; want 2", len(two), err)
+	}
+	if _, err := Select("nosuchanalyzer"); err == nil {
+		t.Fatal("Select accepted an unknown analyzer name")
+	}
+}
+
+// Main must report the seeded violation in the driver fixture and exit 1.
+func TestMainReportsFindings(t *testing.T) {
+	var out bytes.Buffer
+	code := Main(".", []string{"./testdata/src/bad"}, Analyzers, &out)
+	if code != ExitFindings {
+		t.Fatalf("Main = %d, want %d (findings); output:\n%s", code, ExitFindings, out.String())
+	}
+	if !strings.Contains(out.String(), "mapdet") || !strings.Contains(out.String(), "bad.go") {
+		t.Fatalf("finding not attributed to mapdet/bad.go:\n%s", out.String())
+	}
+}
+
+// Unresolvable patterns are load errors, not silence.
+func TestMainBadPattern(t *testing.T) {
+	var out bytes.Buffer
+	if code := Main(".", []string{"./no/such/dir"}, Analyzers, &out); code != ExitLoadError {
+		t.Fatalf("Main on bad pattern = %d, want %d; output:\n%s", code, ExitLoadError, out.String())
+	}
+}
+
+// The tree itself must be clean: every invariant the suite encodes holds in
+// the production code. Runs the real binary via `go run` so this smoke test
+// also covers cmd/dgclvet flag handling and stays cheap under -race (the
+// child process is not race-instrumented).
+func TestTreeIsClean(t *testing.T) {
+	root := moduleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/dgclvet", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("dgclvet ./... failed: %v\n%s", err, out)
+	}
+	if len(bytes.TrimSpace(out)) != 0 {
+		t.Fatalf("dgclvet ./... reported findings on a tree that must be clean:\n%s", out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}

@@ -1,0 +1,12 @@
+// Package bad is a driver fixture with one known mapdet violation, used to
+// prove the Main entry point loads, scopes, runs and reports end to end.
+package bad
+
+// Keys leaks map iteration order into its result.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,132 @@
+// Package errwrap implements the dgclvet analyzer that enforces the per-GPU
+// error discipline of the graphAllgather runtime.
+//
+// PR 1 established the failure-semantics contract: every client failure
+// inside a collective surfaces as a CollectiveError carrying the per-GPU
+// error slice, and callers match causes with errors.Is/As through the
+// wrapping chain. Two local mistakes silently break that contract, and both
+// are invisible to go vet:
+//
+//   - E1: rewrapping with fmt.Errorf("...: %v", err) instead of %w. The
+//     text survives but the chain is cut — errors.Is(err, ErrLinkDown) and
+//     errors.As(err, *CollectiveError) stop matching, so retry policies and
+//     chaos assertions degrade to string matching.
+//   - E2: discarding an error outright (`_ = op()` or a bare statement-
+//     position call returning only an error). A dropped transport error is
+//     how a lost message turns back into a silent hang or a stale-tensor
+//     read. Intentional best-effort drops must carry a
+//     //dgclvet:ignore errwrap directive with a justification.
+//
+// Methods named Error or String are exempt from E1: formatting an error's
+// own message with %v there is correct (wrapping inside Error() would
+// recurse).
+package errwrap
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"dgcl/internal/analysis"
+)
+
+// Analyzer is the errwrap analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "flags error handling that cuts the CollectiveError chain: " +
+		"fmt.Errorf with %v instead of %w, and discarded error results",
+	AppliesTo: func(pkgPath string) bool {
+		return pkgPath == "dgcl/internal/runtime" || pkgPath == "dgcl/internal/collective"
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.InspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, x, stack)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, x)
+			case *ast.ExprStmt:
+				checkDroppedCall(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error argument without a
+// %w verb in a literal format string (E1).
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	if !analysis.IsPkgCall(pass, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	if fd := analysis.EnclosingFuncDecl(stack); fd != nil &&
+		(fd.Name.Name == "Error" || fd.Name.Name == "String") {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if analysis.IsErrorType(pass.TypeOf(arg)) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats an error without %%w, cutting the error chain: "+
+					"errors.Is/As (and CollectiveError unwrapping) stop matching; use %%w")
+			return
+		}
+	}
+}
+
+// checkBlankAssign flags `_ = call` where the call returns exactly one value
+// of type error (E2).
+func checkBlankAssign(pass *analysis.Pass, s *ast.AssignStmt) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	if id, ok := s.Lhs[0].(*ast.Ident); !ok || id.Name != "_" {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || !returnsOnlyError(pass, call) {
+		return
+	}
+	pass.Reportf(s.Pos(),
+		"error result discarded with _: a dropped transport/collective error becomes "+
+			"a silent hang or stale read; handle it, or annotate //dgclvet:ignore errwrap "+
+			"with a justification if the drop is intentional")
+}
+
+// checkDroppedCall flags a statement-position call whose only result is an
+// error (E2). Calls returning nothing (or non-error values) are fine.
+func checkDroppedCall(pass *analysis.Pass, s *ast.ExprStmt) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok || !returnsOnlyError(pass, call) {
+		return
+	}
+	pass.Reportf(s.Pos(),
+		"call's error result is silently dropped; handle it, or annotate "+
+			"//dgclvet:ignore errwrap with a justification if the drop is intentional")
+}
+
+// returnsOnlyError reports whether the call yields exactly one value, of type
+// error. Conversions and builtin calls never match.
+func returnsOnlyError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || !tv.IsValue() {
+		return false
+	}
+	if _, isTuple := tv.Type.(*types.Tuple); isTuple {
+		return false
+	}
+	return analysis.IsErrorType(tv.Type)
+}

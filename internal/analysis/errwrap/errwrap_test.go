@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"dgcl/internal/analysis/analysistest"
+	"dgcl/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, errwrap.Analyzer, "a")
+}

@@ -1,0 +1,70 @@
+// Package a is the errwrap analysistest fixture.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func op() error { return errBase }
+
+func opMulti() (int, error) { return 0, nil }
+
+// badWrap cuts the error chain: %v keeps the text, loses errors.Is/As.
+func badWrap(err error) error {
+	return fmt.Errorf("collective: %v", err) // want "fmt.Errorf formats an error without %w"
+}
+
+// goodWrap preserves the chain.
+func goodWrap(err error) error {
+	return fmt.Errorf("collective: %w", err)
+}
+
+// noErrorArg formats plain values; nothing to wrap.
+func noErrorArg(n int) error {
+	return fmt.Errorf("bad count: %d", n)
+}
+
+type wrapped struct{ inner error }
+
+// Error methods format their own message; %v is correct here (wrapping
+// inside Error would recurse).
+func (w *wrapped) Error() string {
+	return fmt.Errorf("wrapped: %v", w.inner).Error()
+}
+
+// dropBlank discards the error.
+func dropBlank() {
+	_ = op() // want "error result discarded with _"
+}
+
+// dropStmt discards the error in statement position.
+func dropStmt() {
+	op() // want "error result is silently dropped"
+}
+
+// intentional documents a best-effort drop; the directive silences errwrap.
+func intentional() {
+	_ = op() //dgclvet:ignore errwrap best-effort cleanup on shutdown path
+}
+
+// handled is the normal shape.
+func handled() error {
+	if err := op(); err != nil {
+		return fmt.Errorf("op failed: %w", err)
+	}
+	return nil
+}
+
+// multiValued drops a tuple; out of errwrap's single-error scope.
+func multiValued() {
+	opMulti()
+}
+
+// assigned errors are the caller's to handle; only blank/statement drops fire.
+func assigned() error {
+	err := op()
+	return err
+}

@@ -1,0 +1,124 @@
+// Package floatorder implements the dgclvet analyzer that pins the paper's
+// fixed-reduction-order discipline (§5.3: non-atomic backward aggregation).
+//
+// Distributed training is verified against single-device training "up to
+// floating-point reassociation", and the cost model's stage sums feed
+// golden-plan assertions that must be bit-identical across runs and
+// refactors. Both properties die quietly the moment someone reassociates a
+// float reduction — by accumulating in a different order, by splitting a
+// loop, or by summing on multiple goroutines. The defense is to route every
+// scalar float reduction through the small set of designated
+// deterministic-reduce helpers (internal/tensor/reduce.go), whose
+// left-to-right order is documented and locked by tests.
+//
+// The analyzer flags, inside internal/tensor, internal/gnn and
+// internal/core/cost.go, any loop that accumulates into a float32/float64
+// scalar declared outside the loop (s += x, s -= x, s = s + x), unless the
+// enclosing function is itself a designated helper — marked by the
+// //dgclvet:detreduce directive in its doc comment. Element-wise updates
+// with indexed left-hand sides (row[j] += v) are exempt: their iteration
+// order is pinned by the index loop itself.
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+
+	"dgcl/internal/analysis"
+)
+
+// Directive marks a function as a designated deterministic-reduce helper in
+// its doc comment. Marked functions are the implementation of the invariant
+// and are exempt; everything else must call them.
+const Directive = "dgclvet:detreduce"
+
+// Analyzer is the floatorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatorder",
+	Doc: "flags scalar float accumulation loops outside the designated " +
+		"deterministic-reduce helpers (//dgclvet:detreduce)",
+	AppliesTo: func(pkgPath string) bool {
+		switch pkgPath {
+		case "dgcl/internal/tensor", "dgcl/internal/gnn", "dgcl/internal/core":
+			return true
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Within internal/core only the cost model is in scope: cost.go's
+		// stage sums are what golden plans and the equivalence battery pin.
+		if pass.Pkg != nil && pass.Pkg.Path() == "dgcl/internal/core" {
+			if filepath.Base(pass.Fset.Position(f.Pos()).Filename) != "cost.go" {
+				continue
+			}
+		}
+		analysis.InspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			s, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			checkAssign(pass, s, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkAssign(pass *analysis.Pass, s *ast.AssignStmt, stack []ast.Node) {
+	var lhs ast.Expr
+	switch {
+	case (s.Tok == token.ADD_ASSIGN || s.Tok == token.SUB_ASSIGN) && len(s.Lhs) == 1:
+		lhs = s.Lhs[0]
+	case s.Tok == token.ASSIGN && len(s.Lhs) == 1 && len(s.Rhs) == 1:
+		// s = s + x, s = s - x, and the commuted s = x + s.
+		if bin, ok := s.Rhs[0].(*ast.BinaryExpr); ok {
+			switch {
+			case (bin.Op == token.ADD || bin.Op == token.SUB) && sameVar(pass, bin.X, s.Lhs[0]):
+				lhs = s.Lhs[0]
+			case bin.Op == token.ADD && sameVar(pass, bin.Y, s.Lhs[0]):
+				lhs = s.Lhs[0]
+			}
+		}
+	}
+	if lhs == nil {
+		return
+	}
+	// Indexed LHS (row[j] += v) is element-wise, not a scalar reduction.
+	id, ok := lhs.(*ast.Ident)
+	if !ok || !analysis.IsFloat(pass.TypeOf(id)) {
+		return
+	}
+	loopBody := analysis.InnermostLoopBody(stack, s.Pos())
+	if loopBody == nil {
+		return
+	}
+	if !analysis.DeclaredOutside(pass, id, loopBody.Pos(), loopBody.End()) {
+		return
+	}
+	if fd := analysis.EnclosingFuncDecl(stack); fd != nil && analysis.HasDirective(fd.Doc, Directive) {
+		return
+	}
+	pass.Reportf(s.Pos(),
+		"scalar float accumulation into %q outside a deterministic-reduce helper; "+
+			"use the internal/tensor reduce helpers (Dot/Sum/Sum64/SumSquares) or mark "+
+			"the function //dgclvet:detreduce with a fixed-order justification", id.Name)
+}
+
+// sameVar reports whether a and b are identifiers denoting the same object.
+func sameVar(pass *analysis.Pass, a, b ast.Expr) bool {
+	ai, ok := a.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := b.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	oa, ob := pass.ObjectOf(ai), pass.ObjectOf(bi)
+	return oa != nil && oa == ob
+}

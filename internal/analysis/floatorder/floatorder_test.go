@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"dgcl/internal/analysis/analysistest"
+	"dgcl/internal/analysis/floatorder"
+)
+
+func TestFloatorder(t *testing.T) {
+	analysistest.Run(t, floatorder.Analyzer, "a")
+}

@@ -1,0 +1,84 @@
+// Package a is the floatorder analysistest fixture.
+package a
+
+// sumAssign accumulates with +=.
+func sumAssign(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x // want "scalar float accumulation into \"s\""
+	}
+	return s
+}
+
+// sumBinary accumulates with s = s + x.
+func sumBinary(xs []float32) float32 {
+	var s float32
+	for i := 0; i < len(xs); i++ {
+		s = s + xs[i] // want "scalar float accumulation into \"s\""
+	}
+	return s
+}
+
+// sumCommuted accumulates with the operands flipped.
+func sumCommuted(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s = x + s // want "scalar float accumulation into \"s\""
+	}
+	return s
+}
+
+// sumSub accumulates with -=.
+func sumSub(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s -= x // want "scalar float accumulation into \"s\""
+	}
+	return s
+}
+
+// detSum is a designated helper; the directive exempts it.
+//
+//dgclvet:detreduce plain left-to-right accumulation, order locked by tests.
+func detSum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// elementWise has an indexed left-hand side: iteration order is pinned by
+// the index loop, so it is exempt.
+func elementWise(dst, src []float64) {
+	for j := range src {
+		dst[j] += src[j]
+	}
+}
+
+// intSum accumulates integers; integer addition is associative.
+func intSum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// loopLocal accumulates into a scalar declared inside the loop body.
+func loopLocal(xs [][2]float64) float64 {
+	var last float64
+	for _, p := range xs {
+		pair := p[0]
+		pair += p[1]
+		last = pair
+	}
+	return last
+}
+
+// noLoop is a single addition, not a reduction.
+func noLoop(a, b float64) float64 {
+	s := a
+	s += b
+	return s
+}

@@ -1,0 +1,12 @@
+package goleaklite_test
+
+import (
+	"testing"
+
+	"dgcl/internal/analysis/analysistest"
+	"dgcl/internal/analysis/goleaklite"
+)
+
+func TestGoleaklite(t *testing.T) {
+	analysistest.Run(t, goleaklite.Analyzer, "a")
+}

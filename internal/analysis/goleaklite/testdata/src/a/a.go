@@ -1,0 +1,92 @@
+// Package a is the goleaklite analysistest fixture.
+package a
+
+import "sync"
+
+// leakySend: the goroutine blocks forever if nobody drains ch.
+func leakySend(ch chan int) {
+	go func() {
+		ch <- 1 // want "channel send with no cancellation escape"
+	}()
+}
+
+// leakyRecv: the goroutine blocks forever if nobody closes done.
+func leakyRecv(done chan struct{}) {
+	go func() {
+		<-done // want "channel receive with no cancellation escape"
+	}()
+}
+
+// guarded selects with an escape clause; nothing fires.
+func guarded(ch chan int, done chan struct{}) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-done:
+		}
+	}()
+}
+
+// nonBlocking uses default as the escape.
+func nonBlocking(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// wgByValue copies the WaitGroup twice: at the call site and into the
+// parameter. Done decrements the copies; Wait blocks forever.
+func wgByValue(wg sync.WaitGroup) {
+	go func(w sync.WaitGroup) { // want "WaitGroup parameter passed by value"
+		w.Done()
+	}(wg) // want "WaitGroup passed by value"
+}
+
+// wgByPointer is the correct form.
+func wgByPointer(wg *sync.WaitGroup) {
+	go func(w *sync.WaitGroup) {
+		defer w.Done()
+	}(wg)
+}
+
+// namedLaunch launches a declared function; channel discipline inside it is
+// the callee's concern, and the argument is not a WaitGroup.
+func namedLaunch(ch chan int) {
+	go drain(ch)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// nested: each go statement is its own launch site; the inner leak is
+// reported once, at the inner send.
+func nested(ch chan int, done chan struct{}) {
+	go func() {
+		go func() {
+			ch <- 1 // want "channel send with no cancellation escape"
+		}()
+		select {
+		case ch <- 2:
+		case <-done:
+		}
+	}()
+}
+
+// loopBody: a guarded receive loop is the sanctioned worker shape.
+func loopBody(in chan int, done chan struct{}, out []int) {
+	go func() {
+		for {
+			select {
+			case v := <-in:
+				out = append(out, v)
+			case <-done:
+				return
+			}
+		}
+	}()
+}

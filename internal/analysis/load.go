@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Loader parses and type-checks packages for analysis. All packages loaded
+// through one Loader share a FileSet and a source importer, so the standard
+// library is type-checked at most once per Loader.
+//
+// Type information comes from the stdlib "source" importer (go/types over
+// source files), which works fully offline — the module has no dependencies
+// beyond the standard library, so no export data or module proxy is needed.
+type Loader struct {
+	fset *token.FileSet
+	mu   sync.Mutex
+	imp  types.Importer
+}
+
+// NewLoader returns a fresh loader.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+var defaultLoader = sync.OnceValue(NewLoader)
+
+// DefaultLoader returns a process-wide shared loader, so multiple tests in
+// one binary amortize standard-library type-checking.
+func DefaultLoader() *Loader { return defaultLoader() }
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load resolves the go-list patterns relative to dir and returns one
+// type-checked Package per matched Go package, sorted by import path. Test
+// files are excluded (GoFiles only): the analyzers enforce production-code
+// invariants, and testdata fixtures deliberately violate them.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, patterns...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		listed = append(listed, p)
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := l.check(lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks every non-test .go file directly in dir as
+// a single package with the given import path. It is the entry point the
+// analysistest harness uses for testdata packages, which live outside the
+// module's package tree.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, m := range matches {
+		if strings.HasSuffix(m, "_test.go") {
+			continue
+		}
+		files = append(files, m)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(path, files)
+}
+
+// check parses the files and type-checks them as one package. Type errors
+// are collected, not fatal: analyzers run on the partial information (the
+// repository's own tree always type-checks; the tolerance is for testdata).
+func (l *Loader) check(path string, filenames []string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var astFiles []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", fn, err)
+		}
+		astFiles = append(astFiles, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, astFiles, info) // errors already collected
+	return &Package{
+		Path: path, Fset: l.fset, Files: astFiles,
+		Types: tpkg, Info: info, TypeErrors: typeErrs,
+	}, nil
+}

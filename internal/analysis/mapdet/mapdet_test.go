@@ -1,0 +1,12 @@
+package mapdet_test
+
+import (
+	"testing"
+
+	"dgcl/internal/analysis/analysistest"
+	"dgcl/internal/analysis/mapdet"
+)
+
+func TestMapdet(t *testing.T) {
+	analysistest.Run(t, mapdet.Analyzer, "a")
+}

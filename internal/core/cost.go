@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"dgcl/internal/tensor"
 	"dgcl/internal/topology"
 )
 
@@ -134,11 +135,7 @@ func (s *State) ensure(stage int) {
 // Cost returns the total modeled communication time in seconds: the sum over
 // stages of the maximum hop time in the stage.
 func (s *State) Cost() float64 {
-	var t float64
-	for _, st := range s.stageMax {
-		t += st
-	}
-	return t
+	return tensor.Sum64(s.stageMax)
 }
 
 // StageTime returns the modeled time of one stage (0 if the stage is empty).
@@ -229,10 +226,8 @@ func LinkClassBreakdown(m *Model, p *Plan) (nvlink, others float64) {
 			}
 		}
 	}
-	for si := 0; si < numStages; si++ {
-		nvlink += nvMax[si]
-		others += otMax[si]
-	}
+	nvlink = tensor.Sum64(nvMax)
+	others = tensor.Sum64(otMax)
 	return nvlink, others
 }
 

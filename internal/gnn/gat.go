@@ -47,14 +47,6 @@ func (l *GATLayer) InDim() int { return l.W.Rows }
 // OutDim returns the output width.
 func (l *GATLayer) OutDim() int { return l.W.Cols }
 
-func dot(a, b []float32) float32 {
-	var s float32
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
-}
-
 // Forward computes attention over each local vertex's (local + remote)
 // neighborhood.
 func (l *GATLayer) Forward(agg *Aggregator, h *tensor.Matrix) *tensor.Matrix {
@@ -67,8 +59,8 @@ func (l *GATLayer) Forward(agg *Aggregator, h *tensor.Matrix) *tensor.Matrix {
 	ar := l.AttR.Data
 	for r := 0; r < rows; r++ {
 		zr := l.z.Row(r)
-		l.sl[r] = dot(zr, al)
-		l.sr[r] = dot(zr, ar)
+		l.sl[r] = tensor.Dot(zr, al)
+		l.sr[r] = tensor.Dot(zr, ar)
 	}
 	l.alpha = make([]float32, 0, agg.G.NumEdges())
 	l.argPos = make([]bool, 0, agg.G.NumEdges())
@@ -94,11 +86,10 @@ func (l *GATLayer) Forward(agg *Aggregator, h *tensor.Matrix) *tensor.Matrix {
 				maxLogit = e
 			}
 		}
-		var sum float32
 		for i := range logits {
 			logits[i] = float32(math.Exp(float64(logits[i] - maxLogit)))
-			sum += logits[i]
 		}
+		sum := tensor.Sum(logits)
 		prow := l.pre.Row(u)
 		for i, v := range nbrs {
 			a := logits[i] / sum
@@ -133,11 +124,10 @@ func (l *GATLayer) Backward(agg *Aggregator, gradOut *tensor.Matrix) *tensor.Mat
 		gu := gradPre.Row(u)
 		// gradAlpha_i = gu · z_v; softmax Jacobian needs Σ α_i gradAlpha_i.
 		gradAlpha := make([]float32, len(nbrs))
-		var inner float32
 		for i, v := range nbrs {
-			gradAlpha[i] = dot(gu, l.z.Row(int(v)))
-			inner += l.alpha[ei+i] * gradAlpha[i]
+			gradAlpha[i] = tensor.Dot(gu, l.z.Row(int(v)))
 		}
+		inner := tensor.Dot(l.alpha[ei:ei+len(nbrs)], gradAlpha)
 		for i, v := range nbrs {
 			a := l.alpha[ei+i]
 			// z_v receives the α-weighted output gradient.

@@ -76,12 +76,12 @@ func (m *Model) FLOPsPerEpoch(vertices, edges int64) int64 {
 // MSELossGrad computes 0.5*Σ(out-target)² and its gradient (out - target).
 func MSELossGrad(out, target *tensor.Matrix) (float64, *tensor.Matrix) {
 	grad := tensor.New(out.Rows, out.Cols)
-	var loss float64
 	for i := range out.Data {
-		d := out.Data[i] - target.Data[i]
-		grad.Data[i] = d
-		loss += 0.5 * float64(d) * float64(d)
+		grad.Data[i] = out.Data[i] - target.Data[i]
 	}
+	// 0.5·Σd² equals the historical per-element Σ(0.5·d²) bit for bit:
+	// scaling by a power of two is exact, so it commutes with each rounding.
+	loss := 0.5 * tensor.SumSquares(grad.Data)
 	return loss, grad
 }
 

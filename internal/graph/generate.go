@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Generators for synthetic graphs. These stand in for the paper's datasets
@@ -212,7 +213,16 @@ func PreferentialAttachment(n, k int, seed int64) *Graph {
 				chosen[t] = true
 			}
 		}
+		// Iterate the chosen targets in sorted order: the pool's element
+		// order feeds the degree-proportional sampling above, so map
+		// iteration order would make the seeded generator nondeterministic
+		// across runs.
+		targets := make([]int32, 0, len(chosen))
 		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, t := range targets {
 			edges = append(edges, Edge{int32(v), t}, Edge{t, int32(v)})
 			pool = append(pool, int32(v), t)
 		}

@@ -129,7 +129,7 @@ func (t *faultTransport) Send(ctx context.Context, key TransferKey, tr core.Tran
 	if dup {
 		t.count(func(s *FaultStats) *atomic.Int64 { return &s.Duplicates })
 		// Best effort: a lost duplicate is invisible to the protocol.
-		_ = t.inner.Send(ctx, key, tr, deliver)
+		_ = t.inner.Send(ctx, key, tr, deliver) //dgclvet:ignore errwrap duplicate injection is fire-and-forget; the tracked copy below carries the error
 	}
 	if err := t.inner.Send(ctx, key, tr, deliver); err != nil {
 		return err

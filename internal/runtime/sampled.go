@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -58,12 +59,17 @@ func NewSampledTrainer(topo *topology.Topology, g *graph.Graph, owner []int32,
 	return st, nil
 }
 
-// Step trains one round: every GPU samples a minibatch around its seed
-// slice, the remote layer-0 features of all batches are fetched over one
-// SPST-planned exchange, each GPU runs its sampled forward+backward, and
-// gradients are allreduced. It returns the summed batch loss and the plan
-// used for the fetch (for inspection).
+// Step trains one round with a background context; see StepContext.
 func (st *SampledTrainer) Step(seedBatches [][]int32) (float64, *core.Plan, error) {
+	return st.StepContext(context.Background(), seedBatches)
+}
+
+// StepContext trains one round: every GPU samples a minibatch around its
+// seed slice, the remote layer-0 features of all batches are fetched over
+// one SPST-planned exchange, each GPU runs its sampled forward+backward, and
+// gradients are allreduced. It returns the summed batch loss and the plan
+// used for the fetch (for inspection). The feature fetch observes ctx.
+func (st *SampledTrainer) StepContext(ctx context.Context, seedBatches [][]int32) (float64, *core.Plan, error) {
 	k := st.Topo.NumGPUs()
 	if len(seedBatches) != k {
 		return 0, nil, fmt.Errorf("runtime: %d seed batches for %d GPUs", len(seedBatches), k)
@@ -127,7 +133,7 @@ func (st *SampledTrainer) Step(seedBatches [][]int32) (float64, *core.Plan, erro
 	if err != nil {
 		return 0, nil, err
 	}
-	full, err := clu.Allgather(st.Features)
+	full, err := clu.AllgatherContext(ctx, st.Features)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -190,11 +196,7 @@ func (st *SampledTrainer) Step(seedBatches [][]int32) (float64, *core.Plan, erro
 			}
 		}
 	}
-	var total float64
-	for _, l := range losses {
-		total += l
-	}
-	return total, plan, nil
+	return tensor.Sum64(losses), plan, nil
 }
 
 // Step applies the optimizer step on every replica.

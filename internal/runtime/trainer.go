@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -47,11 +48,11 @@ func NewTrainer(c *Cluster, model *gnn.Model, features, targets *tensor.Matrix) 
 
 // layer0Full returns the allgathered layer-0 embeddings, from the cache when
 // feature caching is on.
-func (tr *Trainer) layer0Full() ([]*tensor.Matrix, error) {
+func (tr *Trainer) layer0Full(ctx context.Context) ([]*tensor.Matrix, error) {
 	if tr.CacheFeatures && tr.cachedLayer0 != nil {
 		return tr.cachedLayer0, nil
 	}
-	full, err := tr.Cluster.Allgather(tr.Features)
+	full, err := tr.Cluster.AllgatherContext(ctx, tr.Features)
 	if err != nil {
 		return nil, err
 	}
@@ -61,10 +62,17 @@ func (tr *Trainer) layer0Full() ([]*tensor.Matrix, error) {
 	return full, nil
 }
 
-// Epoch runs one distributed forward+backward pass, allreduces the model
-// gradients, and returns the global loss. Layer compute runs concurrently on
-// all clients; allgathers synchronize them, as on real hardware.
+// Epoch runs one epoch with a background context; see EpochContext.
 func (tr *Trainer) Epoch() (float64, error) {
+	return tr.EpochContext(context.Background())
+}
+
+// EpochContext runs one distributed forward+backward pass, allreduces the
+// model gradients, and returns the global loss. Layer compute runs
+// concurrently on all clients; allgathers synchronize them, as on real
+// hardware. Every collective observes ctx: cancellation surfaces as a
+// CollectiveError from the allgather in flight.
+func (tr *Trainer) EpochContext(ctx context.Context) (float64, error) {
 	c := tr.Cluster
 	numLayers := len(tr.Models[0].Layers)
 	// Forward: per layer, allgather then concurrent local layer compute.
@@ -73,9 +81,9 @@ func (tr *Trainer) Epoch() (float64, error) {
 		var full []*tensor.Matrix
 		var err error
 		if l == 0 {
-			full, err = tr.layer0Full()
+			full, err = tr.layer0Full(ctx)
 		} else {
-			full, err = c.Allgather(h)
+			full, err = c.AllgatherContext(ctx, h)
 		}
 		if err != nil {
 			return 0, fmt.Errorf("runtime: forward allgather layer %d: %w", l, err)
@@ -98,10 +106,7 @@ func (tr *Trainer) Epoch() (float64, error) {
 	for d := 0; d < c.K; d++ {
 		losses[d], grads[d] = gnn.MSELossGrad(h[d], tr.Targets[d])
 	}
-	var loss float64
-	for _, l := range losses {
-		loss += l
-	}
+	loss := tensor.Sum64(losses)
 	// Backward: per layer, concurrent local backward then reverse allgather.
 	// The gradient with respect to the layer-0 input features is discarded
 	// (features are not trained), so the final backward allgather is skipped
@@ -121,7 +126,7 @@ func (tr *Trainer) Epoch() (float64, error) {
 			break
 		}
 		var err error
-		grads, err = c.BackwardAllgather(gradFull)
+		grads, err = c.BackwardAllgatherContext(ctx, gradFull)
 		if err != nil {
 			return 0, fmt.Errorf("runtime: backward allgather layer %d: %w", l, err)
 		}
@@ -185,13 +190,19 @@ func (tr *Trainer) GatherOutput(local []*tensor.Matrix, globalRows int) *tensor.
 	return out
 }
 
-// Forward runs only the forward passes and returns the global output matrix,
-// for inference-style verification.
+// Forward runs the forward passes with a background context; see
+// ForwardContext.
 func (tr *Trainer) Forward(globalRows int) (*tensor.Matrix, error) {
+	return tr.ForwardContext(context.Background(), globalRows)
+}
+
+// ForwardContext runs only the forward passes and returns the global output
+// matrix, for inference-style verification. Every allgather observes ctx.
+func (tr *Trainer) ForwardContext(ctx context.Context, globalRows int) (*tensor.Matrix, error) {
 	c := tr.Cluster
 	h := tr.Features
 	for l := 0; l < len(tr.Models[0].Layers); l++ {
-		full, err := c.Allgather(h)
+		full, err := c.AllgatherContext(ctx, h)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,74 @@
+package runtime
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dgcl/internal/gnn"
+	"dgcl/internal/graph"
+	"dgcl/internal/tensor"
+)
+
+// Regression tests for the context-threaded trainer entry points: Epoch and
+// Forward used to call the Background-context collectives, so a caller could
+// not bound an epoch by a deadline at all.
+
+// An already-canceled context must fail the epoch promptly in the first
+// allgather, not hang or complete the epoch.
+func TestEpochContextCanceled(t *testing.T) {
+	g := graph.CommunityGraph(120, 8, 4, 0.8, 7)
+	n := g.NumVertices()
+	model := gnn.NewModel(gnn.GCN, 5, 4, 2, 11)
+	features := tensor.New(n, 5).FillRandom(12)
+	targets := tensor.New(n, 4).FillRandom(13)
+
+	c, _ := setup(t, g, 4, 7, 20)
+	tr, err := NewTrainer(c, model, features, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.EpochContext(ctx); err == nil {
+		t.Fatal("EpochContext succeeded under a canceled context")
+	}
+	if _, err := tr.ForwardContext(ctx, n); err == nil {
+		t.Fatal("ForwardContext succeeded under a canceled context")
+	}
+}
+
+// A live context must be invisible: EpochContext(ctx) produces exactly the
+// numbers Epoch() produces on an identical replica.
+func TestEpochContextEquivalence(t *testing.T) {
+	g := graph.CommunityGraph(120, 8, 4, 0.8, 17)
+	n := g.NumVertices()
+	model := gnn.NewModel(gnn.GCN, 5, 4, 2, 19)
+	features := tensor.New(n, 5).FillRandom(21)
+	targets := tensor.New(n, 4).FillRandom(23)
+
+	losses := make([]float64, 2)
+	for i := 0; i < 2; i++ {
+		c, _ := setup(t, g, 4, 17, 20)
+		tr, err := NewTrainer(c, model.Clone(), features, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var loss float64
+		if i == 0 {
+			loss, err = tr.Epoch()
+		} else {
+			loss, err = tr.EpochContext(context.Background())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses[i] = loss
+	}
+	if losses[0] != losses[1] {
+		t.Fatalf("Epoch loss %v != EpochContext loss %v (must be bit-identical)", losses[0], losses[1])
+	}
+	if math.IsNaN(losses[0]) {
+		t.Fatal("loss is NaN")
+	}
+}

@@ -1,0 +1,60 @@
+package tensor
+
+// Designated deterministic-reduce helpers.
+//
+// Distributed training is checked against single-device training bit-for-bit
+// (the W1B1 equivalence battery), and the cost model's stage sums feed
+// golden-plan assertions. Both require float reductions to happen in one
+// fixed order everywhere. These helpers are that order: plain left-to-right
+// accumulation, no Kahan compensation, no pairwise splitting, no
+// vectorization-dependent reassociation. The floatorder analyzer
+// (internal/analysis/floatorder) flags any scalar float accumulation loop
+// outside a //dgclvet:detreduce-marked function, which funnels all reductions
+// here.
+
+// Dot returns the inner product of a and b (length of a; b must be at least
+// as long), accumulating left to right in float32.
+//
+//dgclvet:detreduce canonical fixed-order float32 inner product.
+func Dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Sum returns the left-to-right sum of xs in float32.
+//
+//dgclvet:detreduce canonical fixed-order float32 sum.
+func Sum(xs []float32) float32 {
+	var s float32
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Sum64 returns the left-to-right sum of xs in float64.
+//
+//dgclvet:detreduce canonical fixed-order float64 sum.
+func Sum64(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// SumSquares returns the left-to-right sum of squares of xs, widened to
+// float64 per element before squaring (matching the historical Frobenius and
+// MSE loss accumulation exactly).
+//
+//dgclvet:detreduce canonical fixed-order float64 sum of float32 squares.
+func SumSquares(xs []float32) float64 {
+	var s float64
+	for _, x := range xs {
+		s += float64(x) * float64(x)
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// The reduce helpers are the designated deterministic reductions: their
+// left-to-right order is part of the contract (the W1B1 battery and golden
+// plans assume it), so these tests pin it bit for bit against reference
+// loops — any reassociation (Kahan, pairwise, SIMD) is a test failure, not
+// an optimization.
+
+func refF32(xs []float32) float32 {
+	var s float32 //dgclvet:ignore floatorder reference loop pinning the helper's order
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func testVec32(n int, seed int64) []float32 {
+	xs := make([]float32, n)
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range xs {
+		state = state*2862933555777941757 + 3037000493
+		xs[i] = float32(int32(state>>33))/(1<<20) + 1e-7*float32(i)
+	}
+	return xs
+}
+
+func TestSumMatchesLeftToRight(t *testing.T) {
+	xs := testVec32(1001, 5)
+	if got, want := Sum(xs), refF32(xs); got != want {
+		t.Fatalf("Sum = %x, left-to-right reference = %x", got, want)
+	}
+}
+
+func TestDotMatchesLeftToRight(t *testing.T) {
+	a, b := testVec32(733, 9), testVec32(733, 10)
+	var want float32 //dgclvet:ignore floatorder reference loop pinning the helper's order
+	for i := range a {
+		want += a[i] * b[i]
+	}
+	if got := Dot(a, b); got != want {
+		t.Fatalf("Dot = %x, left-to-right reference = %x", got, want)
+	}
+}
+
+func TestSum64MatchesLeftToRight(t *testing.T) {
+	xs64 := make([]float64, 517)
+	for i := range xs64 {
+		xs64[i] = 1.0/float64(i+1) - 0.3*float64(i%7)
+	}
+	var want float64 //dgclvet:ignore floatorder reference loop pinning the helper's order
+	for _, x := range xs64 {
+		want += x
+	}
+	if got := Sum64(xs64); got != want {
+		t.Fatalf("Sum64 = %x, left-to-right reference = %x", got, want)
+	}
+}
+
+func TestSumSquaresMatchesLeftToRight(t *testing.T) {
+	xs := testVec32(899, 13)
+	var want float64 //dgclvet:ignore floatorder reference loop pinning the helper's order
+	for _, x := range xs {
+		want += float64(x) * float64(x)
+	}
+	if got := SumSquares(xs); got != want {
+		t.Fatalf("SumSquares = %x, left-to-right reference = %x", got, want)
+	}
+}
+
+// Order must be observable: if reversing the input never changed any sum,
+// the order-pinning above would be vacuous.
+func TestSumOrderIsObservable(t *testing.T) {
+	xs := []float32{1e8, 1, -1e8, 1, 1e-3, -1}
+	rev := make([]float32, len(xs))
+	for i, x := range xs {
+		rev[len(xs)-1-i] = x
+	}
+	if Sum(xs) == Sum(rev) {
+		t.Skip("chosen vector not order-sensitive on this platform")
+	}
+	// Reaching here proves float order changes results — which is exactly
+	// why the helpers pin it.
+}
+
+func TestSumEmptyAndNaN(t *testing.T) {
+	if Sum(nil) != 0 || Sum64(nil) != 0 || SumSquares(nil) != 0 || Dot(nil, nil) != 0 {
+		t.Fatal("empty reductions must be zero")
+	}
+	if !math.IsNaN(float64(Sum([]float32{float32(math.NaN())}))) {
+		t.Fatal("NaN must propagate through Sum")
+	}
+}

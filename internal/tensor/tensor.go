@@ -129,12 +129,7 @@ func MatMulABT(a, b *Matrix) *Matrix {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float32
-			for k := range arow {
-				s += arow[k] * brow[k]
-			}
-			orow[j] = s
+			orow[j] = Dot(arow, b.Row(j))
 		}
 	}
 	return out
@@ -229,11 +224,7 @@ func ScatterAddRows(dst, src *Matrix, rows []int32) {
 
 // Frobenius returns the Frobenius norm.
 func Frobenius(a *Matrix) float64 {
-	var s float64
-	for _, v := range a.Data {
-		s += float64(v) * float64(v)
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(SumSquares(a.Data))
 }
 
 // MaxAbsDiff returns the maximum absolute elementwise difference.
