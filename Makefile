@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race fuzz vet lint check bench-smoke
+.PHONY: all build test race fuzz vet lint check bench-smoke chaos
 
 all: build test
 
@@ -35,9 +35,20 @@ bench-smoke:
 		-benchtime 1x -json ./internal/core/ > BENCH_plan.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_plan.json | sed 's/"Output":"//;s/\\n//' || true
 
-# Short fuzz pass over every fuzz target (plan decode + round-trip).
+# Chaos tier (DESIGN.md §10): the failure-handling battery under the race
+# detector — fault-injection chaos, fail-stop crash/recovery, checkpoint
+# corruption fallback, and the bit-identical resume property.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Crash|Health|Recover|Resume|Corrupt|Degrade|Without|Checkpoint|Snapshot|Store' \
+		./internal/runtime/ ./internal/checkpoint/ ./internal/topology/ ./internal/gnn/ .
+
+# Short fuzz pass over every fuzz target (plan decode + round-trip, plus the
+# untrusted checkpoint decode paths).
 fuzz:
 	$(GO) test -fuzz=FuzzReadPlanJSON -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzPlanJSONRoundTrip -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -fuzz=FuzzDecodeManifest -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 
-check: vet lint build test race
+check: vet lint build test race chaos

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,15 @@ type chaosOptions struct {
 
 func (c chaosOptions) enabled() bool { return c.drop > 0 || c.corrupt > 0 || c.dup > 0 }
 
+// recoveryOptions bundles the checkpoint / resume / crash-schedule flags.
+type recoveryOptions struct {
+	dir    string
+	every  int
+	keep   int
+	resume bool
+	crash  string
+}
+
 func main() {
 	dataset := flag.String("dataset", "Reddit", "dataset from Table 4")
 	model := flag.String("model", "GCN", "GCN | CommNet | GIN | GraphSAGE | GAT")
@@ -51,15 +61,21 @@ func main() {
 	flag.Int64Var(&chaos.seed, "fault-seed", 1, "fault injection seed")
 	flag.IntVar(&chaos.retries, "retries", 8, "retransmission budget per transfer when faults are on")
 	flag.DurationVar(&chaos.timeout, "comm-timeout", 30*time.Second, "end-to-end deadline per collective when faults are on")
+	var rec recoveryOptions
+	flag.StringVar(&rec.dir, "checkpoint-dir", "", "directory for durable epoch checkpoints (empty = disabled)")
+	flag.IntVar(&rec.every, "checkpoint-every", 1, "epochs between checkpoints")
+	flag.IntVar(&rec.keep, "checkpoint-keep", 0, "checkpoint generations to retain (0 = default)")
+	flag.BoolVar(&rec.resume, "resume", false, "resume from the newest intact checkpoint in -checkpoint-dir")
+	flag.StringVar(&rec.crash, "crash", "", "fail-stop schedule dev@epoch[:stage],... (chaos)")
 	flag.Parse()
 
-	if err := run(*dataset, *model, *gpus, *scale, *epochs, *layers, *seed, float32(*lr), *adam, *planner, *cache, chaos); err != nil {
+	if err := run(*dataset, *model, *gpus, *scale, *epochs, *layers, *seed, float32(*lr), *adam, *planner, *cache, chaos, rec); err != nil {
 		fmt.Fprintln(os.Stderr, "dgcltrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float32, adam bool, planner string, cache bool, chaos chaosOptions) error {
+func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float32, adam bool, planner string, cache bool, chaos chaosOptions, rec recoveryOptions) error {
 	ds, err := graph.DatasetByName(dataset)
 	if err != nil {
 		return err
@@ -86,46 +102,56 @@ func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64,
 		sys.Plan().Algorithm, sys.Plan().NumStages(), sys.PlannedCost()*1e3)
 
 	// Fault injection: the runtime transport retries real losses, and the
-	// network simulator prices the retransmissions in virtual time.
+	// network simulator prices the retransmissions in virtual time. A
+	// -crash schedule additionally kills whole devices fail-stop; the
+	// resilient loop recovers by degrading onto the survivors.
 	var faultProfile *simnet.FaultProfile
-	if chaos.enabled() {
+	var crashCfg *dgcl.CrashConfig
+	if rec.crash != "" {
+		crashCfg, err = dgcl.ParseCrashSchedule(rec.crash)
+		if err != nil {
+			return err
+		}
+	}
+	if chaos.enabled() || crashCfg != nil {
 		retry := dgcl.DefaultRetryPolicy()
 		retry.MaxRetries = chaos.retries
-		if err := sys.SetRunOptions(dgcl.RunOptions{
+		runOpts := dgcl.RunOptions{
 			Timeout: chaos.timeout,
 			Retry:   &retry,
-			Faults: &dgcl.FaultConfig{
+			Crash:   crashCfg,
+		}
+		if chaos.enabled() {
+			runOpts.Faults = &dgcl.FaultConfig{
 				Seed:    chaos.seed,
 				Default: dgcl.FaultRates{Drop: chaos.drop, Corrupt: chaos.corrupt, Duplicate: chaos.dup},
 				Stats:   &dgcl.FaultStats{},
-			},
-		}); err != nil {
+			}
+			faultProfile = &simnet.FaultProfile{
+				DropRate: chaos.drop, CorruptRate: chaos.corrupt, DuplicateRate: chaos.dup,
+				MaxRetries: chaos.retries,
+			}
+			fmt.Printf("chaos: drop %.2f corrupt %.2f dup %.2f, %d retries, %s deadline\n",
+				chaos.drop, chaos.corrupt, chaos.dup, chaos.retries, chaos.timeout)
+		}
+		if crashCfg != nil {
+			fmt.Printf("crash schedule: %s\n", rec.crash)
+		}
+		if err := sys.SetRunOptions(runOpts); err != nil {
 			return err
 		}
-		faultProfile = &simnet.FaultProfile{
-			DropRate: chaos.drop, CorruptRate: chaos.corrupt, DuplicateRate: chaos.dup,
-			MaxRetries: chaos.retries,
-		}
-		fmt.Printf("chaos: drop %.2f corrupt %.2f dup %.2f, %d retries, %s deadline\n",
-			chaos.drop, chaos.corrupt, chaos.dup, chaos.retries, chaos.timeout)
 	}
 
 	model := dgcl.NewModel(kind, ds.FeatureDim, ds.HiddenDim, layers, seed)
 	features := dgcl.RandomFeatures(g.NumVertices(), ds.FeatureDim, seed+1)
 	targets := dgcl.RandomFeatures(g.NumVertices(), ds.HiddenDim, seed+2)
-	trainer, err := sys.NewTrainer(model, features, targets)
-	if err != nil {
-		return err
-	}
-	var opts []gnn.Optimizer
-	for d := 0; d < gpus; d++ {
+	newOptimizer := func() dgcl.Optimizer {
 		if adam {
-			opts = append(opts, gnn.NewAdam(lr))
-		} else {
-			opts = append(opts, gnn.NewSGD(lr, 0.9))
+			return gnn.NewAdam(lr)
 		}
+		return gnn.NewSGD(lr, 0.9)
 	}
-	fmt.Printf("optimizer: %s\n\n", opts[0].Name())
+	fmt.Printf("optimizer: %s\n\n", newOptimizer().Name())
 
 	// Simulated per-epoch timing: compute (device model) + communication
 	// (network simulator over the plan).
@@ -178,20 +204,57 @@ func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64,
 	}
 	computePerEpoch := gpu.EpochComputeTime(model, maxV, maxE)
 
-	for e := 0; e < epochs; e++ {
-		loss, err := trainer.Epoch()
-		if err != nil {
-			return err
-		}
-		if err := trainer.StepWith(opts); err != nil {
-			return err
-		}
-		fmt.Printf("epoch %d: loss %12.4f | simulated %.3f ms (compute %.3f + comm %.3f)\n",
-			e, loss, (computePerEpoch+commPerEpoch)*1e3, computePerEpoch*1e3, commPerEpoch*1e3)
+	res, err := sys.Train(context.Background(), model, features, targets, dgcl.TrainOptions{
+		Epochs:          epochs,
+		NewOptimizer:    newOptimizer,
+		CheckpointDir:   rec.dir,
+		CheckpointEvery: rec.every,
+		CheckpointKeep:  rec.keep,
+		Resume:          rec.resume,
+		OnEpoch: func(e int, loss float64) {
+			fmt.Printf("epoch %d: loss %12.4f | simulated %.3f ms (compute %.3f + comm %.3f)\n",
+				e, loss, (computePerEpoch+commPerEpoch)*1e3, computePerEpoch*1e3, commPerEpoch*1e3)
+		},
+		OnRecovery: func(ev dgcl.RecoveryEvent) {
+			fmt.Printf("recovery: devices %v down at epoch %d; replanned over %v, resumed at epoch %d (checkpoint generation %d)\n",
+				ev.Down, ev.FailedEpoch, ev.Survivors, ev.ResumedEpoch, ev.Generation)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if res.StartEpoch > 0 {
+		fmt.Printf("resumed from epoch %d\n", res.StartEpoch)
 	}
 	if st := sys.Stats(); st != nil && chaos.enabled() {
 		fmt.Printf("\ntransport: %d retransmissions, %d receive timeouts\n",
 			st.TotalRetries(), st.TotalTimeouts())
 	}
+	// Recovery pricing: virtual-time cost of the crash-tolerance machinery
+	// for this configuration (checkpoint write/restore, full recovery stall,
+	// amortized per-epoch overhead at the chosen interval).
+	if rec.dir != "" || crashCfg != nil {
+		ckptBytes := modelBytes(res.Model)
+		rp := &simnet.RecoveryProfile{}
+		epochTime := computePerEpoch + commPerEpoch
+		fmt.Printf("\nrecovery pricing: checkpoint %.3f ms (payload %d B), restore %.3f ms, full recovery %.3f s\n",
+			rp.CheckpointTime(ckptBytes)*1e3, ckptBytes, rp.RestoreTime(ckptBytes)*1e3, rp.RecoveryTime(ckptBytes))
+		fmt.Printf("amortized overhead at interval %d: %.3f ms/epoch (at 1e-4 failures/epoch)\n",
+			rec.every, rp.OverheadPerEpoch(rec.every, ckptBytes, epochTime, 1e-4)*1e3)
+		if len(res.Recoveries) > 0 {
+			fmt.Printf("recoveries performed: %d, checkpoints written: %d\n", len(res.Recoveries), res.Checkpoints)
+		}
+	}
 	return nil
+}
+
+// modelBytes is the checkpoint payload size estimate: float32 parameters.
+func modelBytes(m *dgcl.Model) int64 {
+	var n int64
+	for _, l := range m.Layers {
+		for _, p := range l.Params() {
+			n += int64(p.Rows) * int64(p.Cols) * 4
+		}
+	}
+	return n
 }

@@ -75,10 +75,34 @@ type (
 	CollectiveError = runtime.CollectiveError
 	// TransportError is one transfer's retry/timeout failure.
 	TransportError = runtime.TransportError
+	// CrashConfig is a deterministic fail-stop failure schedule.
+	CrashConfig = runtime.CrashConfig
+	// CrashEvent schedules one fail-stop device failure.
+	CrashEvent = runtime.CrashEvent
+	// DeviceDownError identifies which device a transfer found dead.
+	DeviceDownError = runtime.DeviceDownError
+	// Optimizer applies accumulated gradients to model parameters.
+	Optimizer = gnn.Optimizer
 )
+
+// ErrDeviceDown matches (via errors.Is) any failure caused by a fail-stop
+// dead device.
+var ErrDeviceDown = runtime.ErrDeviceDown
 
 // DefaultRetryPolicy returns the standard retry/timeout budget.
 func DefaultRetryPolicy() RetryPolicy { return runtime.DefaultRetryPolicy() }
+
+// ParseCrashSchedule parses "dev@epoch[:stage],..." into a CrashConfig (see
+// RunOptions.Crash and the dgcltrain -crash flag).
+func ParseCrashSchedule(s string) (*CrashConfig, error) {
+	return runtime.ParseCrashSchedule(s)
+}
+
+// NewSGD builds an SGD optimizer with optional momentum.
+func NewSGD(lr, momentum float32) Optimizer { return gnn.NewSGD(lr, momentum) }
+
+// NewAdam builds an Adam optimizer with standard defaults.
+func NewAdam(lr float32) Optimizer { return gnn.NewAdam(lr) }
 
 // The paper's datasets (Table 4) and models (§7).
 var (
@@ -202,6 +226,29 @@ type System struct {
 	cost   float64
 	clu    *runtime.Cluster
 	pcache *core.PlanCache
+
+	// Crash-tolerance state (see resilience.go). featureDim is remembered
+	// from BuildCommInfo so degraded replans weight the plan identically;
+	// dtopo is the degraded fabric after Degrade (nil = full fabric); alive
+	// maps compact device index -> original device id (nil = identity);
+	// runOpts/autoClassify reapply transport options after a rebuild; crash
+	// and health outlive cluster rebuilds so dead devices stay dead.
+	featureDim   int
+	dtopo        *Topology
+	alive        []int
+	runOpts      *RunOptions
+	autoClassify bool
+	crash        *runtime.CrashTracker
+	health       *runtime.HealthTracker
+}
+
+// curTopo returns the fabric the current cluster runs on (degraded after
+// Degrade, full otherwise).
+func (s *System) curTopo() *Topology {
+	if s.dtopo != nil {
+		return s.dtopo
+	}
+	return s.topo
 }
 
 // Init initializes the distributed communication environment for the given
@@ -244,8 +291,31 @@ func (s *System) BuildCommInfo(g *Graph, featureDim int) error {
 	if err != nil {
 		return err
 	}
+	plan, err := s.buildPlan(rel, s.topo, featureDim)
+	if err != nil {
+		return err
+	}
+	locals := comm.BuildLocalGraphs(g, rel)
+	clu, err := runtime.NewCluster(rel, locals, plan)
+	if err != nil {
+		return err
+	}
+	clu.NonAtomic = !s.opts.AtomicBackward
+	s.g, s.part, s.rel, s.locals, s.plan, s.clu = g, p, rel, locals, plan, clu
+	s.featureDim = featureDim
+	s.dtopo, s.alive = nil, nil
+	s.applyRunOptions()
+	return nil
+}
+
+// buildPlan runs the configured planner for the relation over the given
+// fabric (the full topology normally, a degraded one after Degrade) and
+// records the modeled cost. Degraded replans over a warm plan cache
+// short-circuit planning entirely on repeat failures.
+func (s *System) buildPlan(rel *Relation, topo *Topology, featureDim int) (*Plan, error) {
 	bytesPerVertex := int64(featureDim) * 4
 	var plan *Plan
+	var err error
 	switch s.opts.Planner {
 	case PlannerSPST, PlannerSPSTNoForward:
 		spstOpts := core.SPSTOptions{Seed: s.opts.Seed, ChunkSize: s.opts.ChunkSize,
@@ -256,42 +326,35 @@ func (s *System) BuildCommInfo(g *Graph, featureDim int) error {
 			if s.pcache == nil {
 				s.pcache = core.NewPlanCache(s.opts.Plan.CacheDir)
 			}
-			plan, state, err = s.pcache.PlanSPST(rel, s.topo, bytesPerVertex, spstOpts)
+			plan, state, err = s.pcache.PlanSPST(rel, topo, bytesPerVertex, spstOpts)
 		} else {
-			plan, state, err = core.PlanSPST(rel, s.topo, bytesPerVertex, spstOpts)
+			plan, state, err = core.PlanSPST(rel, topo, bytesPerVertex, spstOpts)
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 		s.cost = state.Cost()
 	case PlannerP2P:
 		plan = baselines.PlanP2P(rel, bytesPerVertex)
-		m, merr := core.NewModel(s.topo)
+		m, merr := core.NewModel(topo)
 		if merr != nil {
-			return merr
+			return nil, merr
 		}
 		s.cost = core.CostOfPlan(m, plan)
 	case PlannerSteiner:
-		plan, err = baselines.PlanSteiner(rel, s.topo, bytesPerVertex)
+		plan, err = baselines.PlanSteiner(rel, topo, bytesPerVertex)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		m, merr := core.NewModel(s.topo)
+		m, merr := core.NewModel(topo)
 		if merr != nil {
-			return merr
+			return nil, merr
 		}
 		s.cost = core.CostOfPlan(m, plan)
 	default:
-		return fmt.Errorf("dgcl: unknown planner %q", s.opts.Planner)
+		return nil, fmt.Errorf("dgcl: unknown planner %q", s.opts.Planner)
 	}
-	locals := comm.BuildLocalGraphs(g, rel)
-	clu, err := runtime.NewCluster(rel, locals, plan)
-	if err != nil {
-		return err
-	}
-	clu.NonAtomic = !s.opts.AtomicBackward
-	s.g, s.part, s.rel, s.locals, s.plan, s.clu = g, p, rel, locals, plan, clu
-	return nil
+	return plan, nil
 }
 
 func (s *System) ready() error {
@@ -320,33 +383,91 @@ type RunOptions struct {
 	// CollectStats enables per-GPU transfer/retry/timeout counters,
 	// readable via Stats. Implied when Retry or Faults is set.
 	CollectStats bool
+	// Crash, when non-nil, installs a deterministic fail-stop schedule
+	// ("device d dies at epoch E, stage S"): transfers touching a crashed
+	// device fail fast with ErrDeviceDown and the resilient Train loop
+	// recovers by degrading onto the survivors. See ParseCrashSchedule.
+	Crash *CrashConfig
+	// DownAfter enables failure detection without a schedule: this many
+	// consecutive deadline-class failures blamed on one device convert into
+	// a down verdict (0 leaves detection to Train's default).
+	DownAfter int
 }
 
 // SetRunOptions installs transport options on the initialized system. When
 // fault injection is requested without a link classifier, transfers are
 // classified by the topology's channel classes ("NVLink", "SameSocket",
 // "CrossSocket", "CrossMachine") so FaultConfig.PerClass keys match the
-// physical fabric.
+// physical fabric. Options survive a degraded rebuild: Degrade reapplies
+// them against the surviving fabric.
 func (s *System) SetRunOptions(opts RunOptions) error {
 	if err := s.ready(); err != nil {
 		return err
 	}
-	if opts.Faults != nil && opts.Faults.Classify == nil {
-		opts.Faults.Classify = func(src, dst int) string {
-			ch, err := s.topo.GPUChannel(src, dst)
-			if err != nil {
-				return ""
+	s.runOpts = &opts
+	s.autoClassify = opts.Faults != nil && opts.Faults.Classify == nil
+	if opts.Crash != nil {
+		s.crash = runtime.NewCrashTracker(*opts.Crash)
+	}
+	if opts.Crash != nil || opts.DownAfter > 0 {
+		s.ensureResilience(opts.DownAfter)
+	}
+	s.applyRunOptions()
+	return nil
+}
+
+// applyRunOptions (re)installs the recorded run options on the current
+// cluster. Called after SetRunOptions and after every rebuild
+// (BuildCommInfo, Degrade) so transport decorators, stats, and the
+// crash/health trackers follow the cluster across degraded replans.
+func (s *System) applyRunOptions() {
+	if s.clu == nil {
+		return
+	}
+	if s.runOpts != nil {
+		opts := s.runOpts
+		if opts.Faults != nil && (opts.Faults.Classify == nil || s.autoClassify) {
+			// Regenerate the auto classifier against the *current* fabric: a
+			// closure over the pre-degrade topology would misclassify links
+			// after survivors are renumbered.
+			topo := s.curTopo()
+			opts.Faults.Classify = func(src, dst int) string {
+				ch, err := topo.GPUChannel(src, dst)
+				if err != nil {
+					return ""
+				}
+				return ch.Class.String()
 			}
-			return ch.Class.String()
+		}
+		s.clu.Timeout = opts.Timeout
+		s.clu.Faults = opts.Faults
+		s.clu.Retry = opts.Retry
+		if (opts.CollectStats || opts.Retry != nil || opts.Faults != nil) && s.clu.Stats == nil {
+			s.clu.Stats = runtime.NewCommStats(s.rel.K)
 		}
 	}
-	s.clu.Timeout = opts.Timeout
-	s.clu.Faults = opts.Faults
-	s.clu.Retry = opts.Retry
-	if (opts.CollectStats || opts.Retry != nil || opts.Faults != nil) && s.clu.Stats == nil {
+	s.clu.Crash = s.crash
+	s.clu.Health = s.health
+	s.clu.DeviceIDs = append([]int(nil), s.alive...)
+}
+
+// ensureResilience installs the crash tracker and health tracker (detection
+// threshold downAfter; 0 = default) that the resilient loop and the crash
+// transport share. Idempotent.
+func (s *System) ensureResilience(downAfter int) {
+	if s.crash == nil {
+		s.crash = runtime.NewCrashTracker(runtime.CrashConfig{})
+	}
+	if s.clu != nil && s.clu.Stats == nil {
 		s.clu.Stats = runtime.NewCommStats(s.rel.K)
 	}
-	return nil
+	if s.health == nil {
+		var stats *CommStats
+		if s.clu != nil {
+			stats = s.clu.Stats
+		}
+		s.health = runtime.NewHealthTracker(downAfter, s.crash, stats)
+	}
 }
 
 // Stats returns the per-GPU communication counters, or nil when collection

@@ -1,0 +1,253 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dgcl/internal/gnn"
+)
+
+// Checkpoint battery: a snapshot must round-trip bit-identically; the store
+// must survive torn writes, truncation, and bit flips by falling back to the
+// newest intact generation; pruning must keep exactly Keep generations; and
+// nothing in the load path may panic on corrupt bytes.
+
+func testSnapshot(t *testing.T, epoch int, seed int64) *Snapshot {
+	t.Helper()
+	model := gnn.NewModel(gnn.GCN, 8, 6, 2, seed)
+	opt := gnn.NewSGD(0.01, 0.9)
+	// Run a step so the optimizer has velocity state worth saving.
+	for _, l := range model.Layers {
+		for _, g := range l.Grads() {
+			g.FillRandom(seed + 7)
+		}
+	}
+	opt.Step(model)
+	var state bytes.Buffer
+	if err := opt.SaveState(&state, model); err != nil {
+		t.Fatal(err)
+	}
+	return &Snapshot{
+		Epoch:    epoch,
+		Seed:     seed,
+		OptName:  opt.Name(),
+		OptState: state.Bytes(),
+		Model:    model,
+	}
+}
+
+func modelsEqual(a, b *gnn.Model) bool {
+	if a.Kind != b.Kind || len(a.Layers) != len(b.Layers) {
+		return false
+	}
+	for i := range a.Layers {
+		ap, bp := a.Layers[i].Params(), b.Layers[i].Params()
+		if len(ap) != len(bp) {
+			return false
+		}
+		for j := range ap {
+			if ap[j].Rows != bp[j].Rows || ap[j].Cols != bp[j].Cols {
+				return false
+			}
+			for k := range ap[j].Data {
+				if ap[j].Data[k] != bp[j].Data[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestSnapshotRoundTripsBitIdentically(t *testing.T) {
+	snap := testSnapshot(t, 5, 42)
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != snap.Epoch || got.Seed != snap.Seed || got.OptName != snap.OptName {
+		t.Fatalf("header round-trip: got epoch=%d seed=%d opt=%q", got.Epoch, got.Seed, got.OptName)
+	}
+	if !bytes.Equal(got.OptState, snap.OptState) {
+		t.Fatal("optimizer state bytes differ after round-trip")
+	}
+	if !modelsEqual(got.Model, snap.Model) {
+		t.Fatal("model weights differ after round-trip")
+	}
+}
+
+func TestStoreSaveLoadNewest(t *testing.T) {
+	s := NewStore(t.TempDir())
+	for epoch := 1; epoch <= 3; epoch++ {
+		gen, err := s.Save(testSnapshot(t, epoch, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen != epoch-1 {
+			t.Fatalf("epoch %d committed as generation %d, want %d", epoch, gen, epoch-1)
+		}
+	}
+	snap, gen, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || snap.Epoch != 3 {
+		t.Fatalf("loaded generation %d epoch %d, want generation 2 epoch 3", gen, snap.Epoch)
+	}
+}
+
+func TestStorePrunesToKeep(t *testing.T) {
+	s := NewStore(t.TempDir())
+	s.Keep = 2
+	for epoch := 1; epoch <= 5; epoch++ {
+		if _, err := s.Save(testSnapshot(t, epoch, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := s.generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0] != 3 || gens[1] != 4 {
+		t.Fatalf("after pruning generations = %v, want [3 4]", gens)
+	}
+	// Payloads of pruned generations are gone too.
+	if _, err := os.Stat(filepath.Join(s.Dir, genName(0)+payloadSuffix)); !os.IsNotExist(err) {
+		t.Fatalf("pruned payload still present: %v", err)
+	}
+}
+
+func TestLoadFallsBackPastCorruptGenerations(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(t *testing.T, dir string, gen int)
+	}{
+		{"truncated payload", func(t *testing.T, dir string, gen int) {
+			p := filepath.Join(dir, genName(gen)+payloadSuffix)
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit flip", func(t *testing.T, dir string, gen int) {
+			p := filepath.Join(dir, genName(gen)+payloadSuffix)
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/3] ^= 0x40
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"missing payload", func(t *testing.T, dir string, gen int) {
+			if err := os.Remove(filepath.Join(dir, genName(gen)+payloadSuffix)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"garbage manifest", func(t *testing.T, dir string, gen int) {
+			p := filepath.Join(dir, genName(gen)+manifestSuffix)
+			if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"traversal payload name", func(t *testing.T, dir string, gen int) {
+			p := filepath.Join(dir, genName(gen)+manifestSuffix)
+			if err := os.WriteFile(p, []byte(`{"generation":9,"epoch":1,"payload":"../../etc/passwd","sha256":"`+
+				"0000000000000000000000000000000000000000000000000000000000000000"+`","size":1}`), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewStore(t.TempDir())
+			if _, err := s.Save(testSnapshot(t, 1, 9)); err != nil {
+				t.Fatal(err)
+			}
+			newest, err := s.Save(testSnapshot(t, 2, 9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, s.Dir, newest)
+			snap, gen, err := s.Load()
+			if err != nil {
+				t.Fatalf("load with corrupt newest generation: %v", err)
+			}
+			if gen != 0 || snap.Epoch != 1 {
+				t.Fatalf("fell back to generation %d epoch %d, want generation 0 epoch 1", gen, snap.Epoch)
+			}
+		})
+	}
+}
+
+func TestLoadAllCorruptReturnsErrNoCheckpoint(t *testing.T) {
+	s := NewStore(t.TempDir())
+	if _, err := s.Save(testSnapshot(t, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(s.Dir, genName(0)+payloadSuffix)
+	if err := os.WriteFile(p, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("load over all-corrupt store: %v, want ErrNoCheckpoint", err)
+	}
+	// An empty directory and a missing directory behave identically.
+	empty := NewStore(t.TempDir())
+	if _, _, err := empty.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("load from empty store: %v, want ErrNoCheckpoint", err)
+	}
+	missing := NewStore(filepath.Join(t.TempDir(), "never-created"))
+	if _, _, err := missing.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("load from missing dir: %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	s := NewStore(t.TempDir())
+	if _, err := s.Save(testSnapshot(t, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if name := e.Name(); filepath.Ext(name) != payloadSuffix && filepath.Ext(name) != manifestSuffix {
+			t.Fatalf("unexpected leftover file %q after save", name)
+		}
+	}
+}
+
+func TestDecodeManifestRejectsHostileFields(t *testing.T) {
+	good := `{"generation":1,"epoch":2,"payload":"gen-00000001.ckpt","sha256":"` +
+		"ab" + string(bytes.Repeat([]byte("cd"), 31)) + `","size":10}`
+	if _, err := DecodeManifest([]byte(good)); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	bad := []string{
+		`{"generation":-1,"epoch":0,"payload":"p.ckpt","sha256":"` + string(bytes.Repeat([]byte("ab"), 32)) + `","size":1}`,
+		`{"generation":0,"epoch":-2,"payload":"p.ckpt","sha256":"` + string(bytes.Repeat([]byte("ab"), 32)) + `","size":1}`,
+		`{"generation":0,"epoch":0,"payload":"p.ckpt","sha256":"` + string(bytes.Repeat([]byte("ab"), 32)) + `","size":-1}`,
+		`{"generation":0,"epoch":0,"payload":"","sha256":"` + string(bytes.Repeat([]byte("ab"), 32)) + `","size":1}`,
+		`{"generation":0,"epoch":0,"payload":"a/b.ckpt","sha256":"` + string(bytes.Repeat([]byte("ab"), 32)) + `","size":1}`,
+		`{"generation":0,"epoch":0,"payload":"..","sha256":"` + string(bytes.Repeat([]byte("ab"), 32)) + `","size":1}`,
+		`{"generation":0,"epoch":0,"payload":"p.ckpt","sha256":"zz","size":1}`,
+	}
+	for _, m := range bad {
+		if _, err := DecodeManifest([]byte(m)); err == nil {
+			t.Errorf("hostile manifest accepted: %s", m)
+		}
+	}
+}

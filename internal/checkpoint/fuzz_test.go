@@ -1,0 +1,74 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"dgcl/internal/gnn"
+)
+
+// Fuzz targets for the two untrusted decode paths. The property in both
+// cases is total: arbitrary bytes yield either a valid value or an error —
+// never a panic, and never an allocation sized by unvalidated input.
+
+func fuzzSeedSnapshots(f *testing.F) {
+	model := gnn.NewModel(gnn.GCN, 4, 3, 2, 1)
+	snap := &Snapshot{Epoch: 2, Seed: 7, OptName: "sgd(lr=0.01,m=0.9)", OptState: []byte{0, 0, 0, 0}, Model: model}
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte("DGCLSNAP"))
+	f.Add([]byte{})
+	// A header claiming an enormous optimizer state.
+	hostile := append([]byte(nil), valid[:28]...)
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0x7f)
+	f.Add(hostile)
+	// Flip a byte in the middle of the model section.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)*3/4] ^= 0x10
+	f.Add(flipped)
+}
+
+func FuzzDecodeSnapshot(f *testing.F) {
+	fuzzSeedSnapshots(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(bytes.NewReader(data))
+		if err == nil && snap.Model == nil {
+			t.Fatal("decode succeeded without a model")
+		}
+		if err == nil && snap.Epoch < 0 {
+			t.Fatalf("decode accepted negative epoch %d", snap.Epoch)
+		}
+	})
+}
+
+func FuzzDecodeManifest(f *testing.F) {
+	f.Add([]byte(`{"generation":1,"epoch":2,"payload":"gen-00000001.ckpt","sha256":"` +
+		"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" + `","size":10}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"payload":"../escape"}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Generation < 0 || m.Epoch < 0 || m.Size < 0 {
+			t.Fatalf("accepted manifest with negative field: %+v", m)
+		}
+		if m.Payload == "" || m.Payload == "." || m.Payload == ".." {
+			t.Fatalf("accepted manifest with degenerate payload name %q", m.Payload)
+		}
+		for _, c := range m.Payload {
+			if c == '/' || c == '\\' {
+				t.Fatalf("accepted manifest with path separator in payload name %q", m.Payload)
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package checkpoint
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// Manifest is the commit record of one checkpoint generation. The payload is
+// written and fsynced first; the manifest's atomic rename is the commit
+// point, so a manifest that exists and verifies implies an intact payload
+// (modulo later corruption, which the SHA-256 catches at load time).
+type Manifest struct {
+	// Generation numbers checkpoints monotonically; higher is newer.
+	Generation int `json:"generation"`
+	// Epoch is the snapshot's completed-epoch counter, duplicated here so
+	// tools can inspect progress without decoding payloads.
+	Epoch int `json:"epoch"`
+	// Payload is the snapshot filename, relative to the store directory.
+	Payload string `json:"payload"`
+	// SHA256 is the lowercase hex digest of the payload bytes.
+	SHA256 string `json:"sha256"`
+	// Size is the payload length in bytes.
+	Size int64 `json:"size"`
+}
+
+// maxManifestLen bounds manifest files; a real manifest is a few hundred
+// bytes.
+const maxManifestLen = 1 << 16
+
+// DecodeManifest parses and validates a manifest. Corrupt input yields an
+// error, never a panic, and a manifest naming a payload outside the store
+// directory is rejected.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	if len(data) > maxManifestLen {
+		return nil, fmt.Errorf("checkpoint: manifest of %d bytes exceeds %d", len(data), maxManifestLen)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("checkpoint: parse manifest: %w", err)
+	}
+	if m.Generation < 0 {
+		return nil, fmt.Errorf("checkpoint: negative generation %d", m.Generation)
+	}
+	if m.Epoch < 0 {
+		return nil, fmt.Errorf("checkpoint: negative epoch %d", m.Epoch)
+	}
+	if m.Size < 0 {
+		return nil, fmt.Errorf("checkpoint: negative payload size %d", m.Size)
+	}
+	// The payload name must be a bare filename: a manifest is untrusted
+	// input and must not direct reads outside the store directory.
+	if m.Payload == "" || m.Payload != filepath.Base(m.Payload) ||
+		m.Payload == "." || m.Payload == ".." || strings.ContainsAny(m.Payload, "/\\") {
+		return nil, fmt.Errorf("checkpoint: invalid payload name %q", m.Payload)
+	}
+	digest, err := hex.DecodeString(m.SHA256)
+	if err != nil || len(digest) != 32 {
+		return nil, fmt.Errorf("checkpoint: invalid sha256 %q", m.SHA256)
+	}
+	return &m, nil
+}
+
+// encode renders the manifest as indented JSON.
+func (m *Manifest) encode() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode manifest: %w", err)
+	}
+	return append(data, '\n'), nil
+}

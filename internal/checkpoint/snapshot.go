@@ -1,0 +1,144 @@
+// Package checkpoint provides durable, generation-numbered training
+// checkpoints: a binary snapshot payload (epoch counter, RNG seed, optimizer
+// state, model weights) committed atomically via temp-file + rename, with a
+// JSON manifest carrying a SHA-256 over the payload. Load verifies the
+// checksum and falls back to the newest intact generation when the latest is
+// truncated or corrupt, so a crash during a checkpoint write can never lose
+// more than one interval of progress.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dgcl/internal/gnn"
+)
+
+const (
+	snapshotMagic   = "DGCLSNAP"
+	snapshotVersion = 1
+
+	// Decoder bounds: snapshots read during fallback are untrusted bytes, so
+	// every length prefix is bounded before it sizes an allocation.
+	maxOptNameLen  = 256
+	maxOptStateLen = 1 << 26
+)
+
+// Snapshot is the complete restartable training state at an epoch boundary:
+// everything a resumed process needs to continue bit-identically.
+type Snapshot struct {
+	// Epoch is the number of completed epochs (the resumed run starts at
+	// epoch Epoch).
+	Epoch int
+	// Seed is the run's RNG seed; a resume must reuse it so partitioning,
+	// planning, and any seeded schedules replay identically.
+	Seed int64
+	// OptName identifies the optimizer configuration (gnn.Optimizer.Name);
+	// resume validates it against the optimizer the caller constructed.
+	OptName string
+	// OptState is the optimizer's serialized state
+	// (gnn.StatefulOptimizer.SaveState against Model), empty for stateless
+	// optimizers.
+	OptState []byte
+	// Model is the replica model (replicas are identical by construction, so
+	// one copy restores every device).
+	Model *gnn.Model
+}
+
+// Encode writes the snapshot.
+func (s *Snapshot) Encode(w io.Writer) error {
+	if s.Model == nil {
+		return fmt.Errorf("checkpoint: snapshot has no model")
+	}
+	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+		return fmt.Errorf("checkpoint: write magic: %w", err)
+	}
+	hdr := []any{
+		uint32(snapshotVersion),
+		int64(s.Epoch),
+		s.Seed,
+		int32(len(s.OptName)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("checkpoint: write header: %w", err)
+		}
+	}
+	if _, err := io.WriteString(w, s.OptName); err != nil {
+		return fmt.Errorf("checkpoint: write optimizer name: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, int32(len(s.OptState))); err != nil {
+		return fmt.Errorf("checkpoint: write optimizer state length: %w", err)
+	}
+	if _, err := w.Write(s.OptState); err != nil {
+		return fmt.Errorf("checkpoint: write optimizer state: %w", err)
+	}
+	if err := s.Model.Save(w); err != nil {
+		return fmt.Errorf("checkpoint: write model: %w", err)
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a snapshot, validating every length against its bound
+// before allocating. Corrupt or truncated input yields an error, never a
+// panic.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("checkpoint: read magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("checkpoint: not a snapshot (magic %q)", magic)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("checkpoint: read version: %w", err)
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported snapshot version %d", version)
+	}
+	var epoch, seed int64
+	if err := binary.Read(r, binary.LittleEndian, &epoch); err != nil {
+		return nil, fmt.Errorf("checkpoint: read epoch: %w", err)
+	}
+	if epoch < 0 {
+		return nil, fmt.Errorf("checkpoint: negative epoch %d", epoch)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &seed); err != nil {
+		return nil, fmt.Errorf("checkpoint: read seed: %w", err)
+	}
+	var nameLen int32
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return nil, fmt.Errorf("checkpoint: read optimizer name length: %w", err)
+	}
+	if nameLen < 0 || nameLen > maxOptNameLen {
+		return nil, fmt.Errorf("checkpoint: implausible optimizer name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("checkpoint: read optimizer name: %w", err)
+	}
+	var stateLen int32
+	if err := binary.Read(r, binary.LittleEndian, &stateLen); err != nil {
+		return nil, fmt.Errorf("checkpoint: read optimizer state length: %w", err)
+	}
+	if stateLen < 0 || stateLen > maxOptStateLen {
+		return nil, fmt.Errorf("checkpoint: implausible optimizer state length %d", stateLen)
+	}
+	state := make([]byte, stateLen)
+	if _, err := io.ReadFull(r, state); err != nil {
+		return nil, fmt.Errorf("checkpoint: read optimizer state: %w", err)
+	}
+	model, err := gnn.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read model: %w", err)
+	}
+	return &Snapshot{
+		Epoch:    int(epoch),
+		Seed:     seed,
+		OptName:  string(name),
+		OptState: state,
+		Model:    model,
+	}, nil
+}

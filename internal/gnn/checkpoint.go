@@ -14,6 +14,16 @@ import (
 
 const checkpointMagic = "DGCLCKPT"
 
+// Decoder bounds: a checkpoint header is untrusted input (truncated or
+// bit-flipped files reach Load via checkpoint-store fallback), so every
+// count is bounded before it sizes an allocation.
+const (
+	maxLayers     = 256
+	maxDim        = 1 << 20
+	maxLayerElems = 1 << 24 // per-layer parameter elements (64 MiB of float32)
+	maxModelElems = 1 << 26 // whole-model parameter elements (256 MiB)
+)
+
 // Save writes the model's weights.
 func (m *Model) Save(w io.Writer) error {
 	if _, err := io.WriteString(w, checkpointMagic); err != nil {
@@ -86,35 +96,43 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	var numLayers int32
 	if err := binary.Read(r, binary.LittleEndian, &numLayers); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("gnn: read layer count: %w", err)
 	}
-	if numLayers < 1 || numLayers > 256 {
+	if numLayers < 1 || numLayers > maxLayers {
 		return nil, fmt.Errorf("gnn: implausible layer count %d", numLayers)
 	}
 	m := &Model{Kind: kind}
+	var totalElems int64
 	for li := int32(0); li < numLayers; li++ {
 		var dims [2]int32
 		if err := binary.Read(r, binary.LittleEndian, &dims); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("gnn: layer %d: read dims: %w", li, err)
 		}
-		if dims[0] < 1 || dims[1] < 1 || dims[0] > 1<<20 || dims[1] > 1<<20 {
-			return nil, fmt.Errorf("gnn: implausible layer dims %v", dims)
+		if dims[0] < 1 || dims[1] < 1 || dims[0] > maxDim || dims[1] > maxDim {
+			return nil, fmt.Errorf("gnn: layer %d: implausible dims %v", li, dims)
+		}
+		// Bound the allocation BEFORE NewLayer materializes the parameters: a
+		// corrupt header must not turn into an attacker-controlled allocation.
+		if int64(dims[0])*int64(dims[1]) > maxLayerElems {
+			return nil, fmt.Errorf("gnn: layer %d: %dx%d exceeds %d parameters", li, dims[0], dims[1], maxLayerElems)
 		}
 		layer := kind.NewLayer(int(dims[0]), int(dims[1]), 0)
-		for _, p := range layer.Params() {
+		for pi, p := range layer.Params() {
+			totalElems += int64(p.Rows) * int64(p.Cols)
+			if totalElems > maxModelElems {
+				return nil, fmt.Errorf("gnn: checkpoint exceeds %d total parameters", int64(maxModelElems))
+			}
 			var shape [2]int32
 			if err := binary.Read(r, binary.LittleEndian, &shape); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("gnn: layer %d param %d: read shape: %w", li, pi, err)
 			}
 			if int(shape[0]) != p.Rows || int(shape[1]) != p.Cols {
-				return nil, fmt.Errorf("gnn: layer %d param shape %v, expected %dx%d", li, shape, p.Rows, p.Cols)
+				return nil, fmt.Errorf("gnn: layer %d param %d shape %v, expected %dx%d", li, pi, shape, p.Rows, p.Cols)
 			}
-			for j := range p.Data {
-				var bits uint32
-				if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
-					return nil, err
-				}
-				p.Data[j] = math.Float32frombits(bits)
+			// float32 little-endian matches the Float32bits encoding Save
+			// produces; reading the slice in one call avoids 4-byte reads.
+			if err := binary.Read(r, binary.LittleEndian, p.Data); err != nil {
+				return nil, fmt.Errorf("gnn: layer %d param %d: read data: %w", li, pi, err)
 			}
 		}
 		m.Layers = append(m.Layers, layer)

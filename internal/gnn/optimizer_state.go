@@ -1,0 +1,162 @@
+package gnn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dgcl/internal/tensor"
+)
+
+// Optimizer state serialization. SGD's velocity and Adam's moments are keyed
+// by parameter pointer, so they cannot be serialized standalone; instead
+// state is written and read against a Model, iterating its parameters in the
+// deterministic layer/param order. A resumed run constructs the same
+// optimizer (same flags), loads the state against the restored model, and
+// continues bit-identically to an uninterrupted run.
+
+// StatefulOptimizer is an Optimizer whose internal state (momentum,
+// moments, step counters) can round-trip through a checkpoint.
+type StatefulOptimizer interface {
+	Optimizer
+	// SaveState writes the optimizer's state for m's parameters.
+	SaveState(w io.Writer, m *Model) error
+	// LoadState restores state saved against a model of identical shape,
+	// rebinding it to m's parameters.
+	LoadState(r io.Reader, m *Model) error
+}
+
+// modelParams returns m's parameters in the canonical layer/param order the
+// state format is defined over.
+func modelParams(m *Model) []*tensor.Matrix {
+	var out []*tensor.Matrix
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// writeStateBuf writes one optional per-parameter state buffer: a presence
+// byte, then the raw float32 data (shape is implied by the parameter).
+func writeStateBuf(w io.Writer, buf *tensor.Matrix) error {
+	if buf == nil {
+		if err := binary.Write(w, binary.LittleEndian, uint8(0)); err != nil {
+			return fmt.Errorf("gnn: write state presence: %w", err)
+		}
+		return nil
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint8(1)); err != nil {
+		return fmt.Errorf("gnn: write state presence: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, buf.Data); err != nil {
+		return fmt.Errorf("gnn: write state buffer: %w", err)
+	}
+	return nil
+}
+
+// readStateBuf reads one optional state buffer shaped like p. The shape
+// comes from the live model, never from the (untrusted) stream, so a corrupt
+// stream cannot size an allocation.
+func readStateBuf(r io.Reader, p *tensor.Matrix) (*tensor.Matrix, error) {
+	var present uint8
+	if err := binary.Read(r, binary.LittleEndian, &present); err != nil {
+		return nil, fmt.Errorf("gnn: read state presence: %w", err)
+	}
+	switch present {
+	case 0:
+		return nil, nil
+	case 1:
+		buf := tensor.New(p.Rows, p.Cols)
+		if err := binary.Read(r, binary.LittleEndian, buf.Data); err != nil {
+			return nil, fmt.Errorf("gnn: read state buffer: %w", err)
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("gnn: corrupt state presence byte %d", present)
+	}
+}
+
+// SaveState implements StatefulOptimizer: one velocity buffer per parameter
+// (absent when momentum never accumulated for it).
+func (o *SGD) SaveState(w io.Writer, m *Model) error {
+	for _, p := range modelParams(m) {
+		if err := writeStateBuf(w, o.velocity[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState implements StatefulOptimizer.
+func (o *SGD) LoadState(r io.Reader, m *Model) error {
+	if o.velocity == nil {
+		o.velocity = make(map[*tensor.Matrix]*tensor.Matrix)
+	}
+	for _, p := range modelParams(m) {
+		buf, err := readStateBuf(r, p)
+		if err != nil {
+			return err
+		}
+		if buf != nil {
+			o.velocity[p] = buf
+		} else {
+			delete(o.velocity, p)
+		}
+	}
+	return nil
+}
+
+// SaveState implements StatefulOptimizer: the step counter (bias correction
+// depends on it), then first and second moment buffers per parameter.
+func (o *Adam) SaveState(w io.Writer, m *Model) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(o.step)); err != nil {
+		return fmt.Errorf("gnn: write adam step: %w", err)
+	}
+	for _, p := range modelParams(m) {
+		if err := writeStateBuf(w, o.m[p]); err != nil {
+			return err
+		}
+		if err := writeStateBuf(w, o.v[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState implements StatefulOptimizer.
+func (o *Adam) LoadState(r io.Reader, m *Model) error {
+	var step int64
+	if err := binary.Read(r, binary.LittleEndian, &step); err != nil {
+		return fmt.Errorf("gnn: read adam step: %w", err)
+	}
+	if step < 0 || step > 1<<40 {
+		return fmt.Errorf("gnn: implausible adam step %d", step)
+	}
+	o.step = int(step)
+	if o.m == nil {
+		o.m = make(map[*tensor.Matrix]*tensor.Matrix)
+	}
+	if o.v == nil {
+		o.v = make(map[*tensor.Matrix]*tensor.Matrix)
+	}
+	for _, p := range modelParams(m) {
+		mb, err := readStateBuf(r, p)
+		if err != nil {
+			return err
+		}
+		vb, err := readStateBuf(r, p)
+		if err != nil {
+			return err
+		}
+		if (mb == nil) != (vb == nil) {
+			return fmt.Errorf("gnn: adam state has mismatched moment presence")
+		}
+		if mb != nil {
+			o.m[p], o.v[p] = mb, vb
+		} else {
+			delete(o.m, p)
+			delete(o.v, p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package gnn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// Optimizer-state round-trip: an optimizer restored from a checkpoint must
+// continue bit-identically to one that never stopped — momentum velocity,
+// Adam moments, and the Adam step counter (bias correction depends on it)
+// all have to survive the trip.
+
+// fillGrads writes deterministic pseudo-gradients for step k into m.
+func fillGrads(m *Model, k int64) {
+	for li, l := range m.Layers {
+		for gi, g := range l.Grads() {
+			g.FillRandom(1000*k + int64(10*li+gi))
+		}
+	}
+}
+
+func paramsBitIdentical(t *testing.T, a, b *Model, label string) {
+	t.Helper()
+	for li := range a.Layers {
+		ap, bp := a.Layers[li].Params(), b.Layers[li].Params()
+		for pi := range ap {
+			for j := range ap[pi].Data {
+				if ap[pi].Data[j] != bp[pi].Data[j] {
+					t.Fatalf("%s: layer %d param %d element %d: %v != %v",
+						label, li, pi, j, ap[pi].Data[j], bp[pi].Data[j])
+				}
+			}
+		}
+	}
+}
+
+func TestOptimizerStateRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() StatefulOptimizer
+	}{
+		{"sgd-momentum", func() StatefulOptimizer { return NewSGD(0.05, 0.9) }},
+		{"sgd-plain", func() StatefulOptimizer { return NewSGD(0.05, 0) }},
+		{"adam", func() StatefulOptimizer { return NewAdam(0.01) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			straight := NewModel(GCN, 6, 5, 2, 3)
+			optA := tc.mk()
+			for k := 0; k < 5; k++ {
+				fillGrads(straight, int64(k))
+				optA.Step(straight)
+			}
+
+			// Same run, interrupted after step 2: model and optimizer state go
+			// through the checkpoint encoding and back.
+			interrupted := NewModel(GCN, 6, 5, 2, 3)
+			optB := tc.mk()
+			for k := 0; k < 3; k++ {
+				fillGrads(interrupted, int64(k))
+				optB.Step(interrupted)
+			}
+			var modelBuf, stateBuf bytes.Buffer
+			if err := interrupted.Save(&modelBuf); err != nil {
+				t.Fatal(err)
+			}
+			if err := optB.SaveState(&stateBuf, interrupted); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := Load(&modelBuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optC := tc.mk()
+			if err := optC.LoadState(bytes.NewReader(stateBuf.Bytes()), restored); err != nil {
+				t.Fatal(err)
+			}
+			for k := 3; k < 5; k++ {
+				fillGrads(restored, int64(k))
+				optC.Step(restored)
+			}
+			paramsBitIdentical(t, straight, restored, tc.name)
+		})
+	}
+}
+
+func TestOptimizerLoadStateRejectsCorruptStreams(t *testing.T) {
+	m := NewModel(GCN, 4, 3, 1, 1)
+	adam := NewAdam(0.01)
+	if err := adam.LoadState(strings.NewReader(""), m); err == nil {
+		t.Fatal("empty stream accepted as adam state")
+	}
+	var neg bytes.Buffer
+	binary.Write(&neg, binary.LittleEndian, int64(-1))
+	if err := NewAdam(0.01).LoadState(&neg, m); err == nil {
+		t.Fatal("negative adam step accepted")
+	}
+	var badPresence bytes.Buffer
+	binary.Write(&badPresence, binary.LittleEndian, int64(1))
+	badPresence.WriteByte(7) // presence byte must be 0 or 1
+	if err := NewAdam(0.01).LoadState(&badPresence, m); err == nil {
+		t.Fatal("corrupt presence byte accepted")
+	}
+	if err := NewSGD(0.1, 0.9).LoadState(strings.NewReader("\x01"), m); err == nil {
+		t.Fatal("truncated sgd velocity accepted")
+	}
+}
+
+func TestLoadBoundsAllocationsBeforeAllocating(t *testing.T) {
+	// Each dim passes the per-dimension bound but their product exceeds the
+	// per-layer element bound: Load must reject from the header alone,
+	// without materializing the layer.
+	var buf bytes.Buffer
+	buf.WriteString("DGCLCKPT")
+	binary.Write(&buf, binary.LittleEndian, int32(3))
+	buf.WriteString("GCN")
+	binary.Write(&buf, binary.LittleEndian, int32(1))                   // layer count
+	binary.Write(&buf, binary.LittleEndian, [2]int32{1 << 15, 1 << 15}) // 2^30 elems
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("oversized dims product accepted")
+	}
+
+	// A single dim over maxDim fails too.
+	buf.Reset()
+	buf.WriteString("DGCLCKPT")
+	binary.Write(&buf, binary.LittleEndian, int32(3))
+	buf.WriteString("GCN")
+	binary.Write(&buf, binary.LittleEndian, int32(1))
+	binary.Write(&buf, binary.LittleEndian, [2]int32{maxDim + 1, 1})
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("dim over maxDim accepted")
+	}
+
+	// Truncation inside the parameter data is a wrapped error, not a panic.
+	m := NewModel(GCN, 4, 3, 2, 9)
+	var full bytes.Buffer
+	if err := m.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{9, 15, full.Len() - 3} {
+		if _, err := Load(bytes.NewReader(full.Bytes()[:cut])); err == nil {
+			t.Fatalf("checkpoint truncated at %d accepted", cut)
+		}
+	}
+}

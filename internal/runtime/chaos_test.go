@@ -2,12 +2,12 @@ package runtime
 
 import (
 	"errors"
-	goruntime "runtime"
 	"testing"
 	"time"
 
 	"dgcl/internal/graph"
 	"dgcl/internal/tensor"
+	"dgcl/internal/testutil"
 )
 
 // Chaos battery: under injected faults the collectives must be either
@@ -118,7 +118,7 @@ func TestChaosExhaustedBudgetFailsStructuredAndLeakFree(t *testing.T) {
 	c.Timeout = deadline
 	c.Stats = NewCommStats(c.K)
 
-	before := goroutine.count()
+	before := testutil.Goroutines()
 	start := time.Now()
 	_, err := c.Allgather(local)
 	elapsed := time.Since(start)
@@ -151,35 +151,10 @@ func TestChaosExhaustedBudgetFailsStructuredAndLeakFree(t *testing.T) {
 
 	// All client goroutines must wind down: no one may block forever on a
 	// channel whose sender gave up.
-	if !goroutine.settlesTo(before, 2*time.Second) {
-		t.Fatalf("goroutines leaked: %d before, %d after settling window", before, goroutine.count())
+	if !testutil.GoroutinesSettleTo(before, 2*time.Second) {
+		t.Fatalf("goroutines leaked: %d before, %d after settling window", before, testutil.Goroutines())
 	}
 	if c.Stats.TotalRetries() == 0 && c.Stats.TotalTimeouts() == 0 {
 		t.Fatal("failed collective recorded neither retries nor timeouts")
-	}
-}
-
-// goroutine groups the leak-check helpers (the package is itself named
-// runtime, so the stdlib runtime is imported as goruntime).
-var goroutine = goroutineChecker{}
-
-type goroutineChecker struct{}
-
-func (goroutineChecker) count() int { return goruntime.NumGoroutine() }
-
-// settlesTo polls until the live goroutine count returns to within a small
-// slack of the baseline (test harness goroutines come and go), or the
-// window expires.
-func (g goroutineChecker) settlesTo(baseline int, window time.Duration) bool {
-	deadline := time.Now().Add(window)
-	for {
-		if g.count() <= baseline+2 {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		goruntime.Gosched()
-		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -13,6 +13,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -47,6 +48,27 @@ type Cluster struct {
 	// Timeout, when positive, bounds each collective end to end (applied as
 	// a context deadline when the caller's context has none).
 	Timeout time.Duration
+	// Crash, when non-nil, injects/propagates fail-stop device failures:
+	// transfers touching a down device fail fast with ErrDeviceDown and the
+	// collective aborts instead of running out its deadline.
+	Crash *CrashTracker
+	// Health, when non-nil, grades every collective and converts repeated
+	// deadline failures or explicit down evidence into per-device verdicts
+	// (surfaced via CollectiveError.Down).
+	Health *HealthTracker
+	// DeviceIDs maps client index -> external device id. Nil means the
+	// identity mapping; a degraded cluster rebuilt over survivors sets it so
+	// crash schedules and down verdicts keep using the original numbering.
+	DeviceIDs []int
+}
+
+// DeviceID returns the external id of client index d (identity when no
+// mapping is installed).
+func (c *Cluster) DeviceID(d int) int {
+	if c.DeviceIDs == nil {
+		return d
+	}
+	return c.DeviceIDs[d]
 }
 
 // NewCluster validates the plan against the relation and builds the cluster.
@@ -60,8 +82,11 @@ func NewCluster(rel *comm.Relation, locals []*comm.LocalGraph, plan *core.Plan) 
 	return &Cluster{K: rel.K, Rel: rel, Locals: locals, Plan: plan, NonAtomic: true}, nil
 }
 
-// newTransport composes the transport stack for one collective:
-// base (channels) -> fault injection -> retry/timeout -> stats accounting.
+// newTransport composes the transport stack for one collective: base
+// (channels) -> fault injection -> fail-stop crash -> retry/timeout -> stats
+// accounting. Crash sits below retry so ErrDeviceDown (not retryable) cuts
+// straight through to the client, and above faults so dead links stop
+// rolling message faults.
 func (c *Cluster) newTransport(stages [][]core.Transfer, relayAware bool) Transport {
 	base := c.Transport
 	if base == nil {
@@ -70,6 +95,9 @@ func (c *Cluster) newTransport(stages [][]core.Transfer, relayAware bool) Transp
 	t := base(stages)
 	if c.Faults != nil {
 		t = NewFaultTransport(t, *c.Faults)
+	}
+	if c.Crash != nil {
+		t = NewCrashTransport(t, c.Crash, c.DeviceIDs)
 	}
 	if c.Retry != nil {
 		t = NewRetryTransport(t, *c.Retry, c.Stats)
@@ -93,10 +121,14 @@ func (c *Cluster) collectiveContext(ctx context.Context) (context.Context, conte
 
 // CollectiveError reports a failed collective with the structured per-GPU
 // failures: PerGPU[d] is the error GPU d's client returned (nil for clients
-// that finished cleanly).
+// that finished cleanly). Down lists the devices (external ids, ascending)
+// judged fail-stop dead by the time the collective finished — the signal
+// that separates "lossy link, retry the epoch" from "peer is gone, degrade
+// and recover."
 type CollectiveError struct {
 	Op     string
 	PerGPU []error
+	Down   []int
 }
 
 func (e *CollectiveError) Error() string {
@@ -109,7 +141,11 @@ func (e *CollectiveError) Error() string {
 			}
 		}
 	}
-	return fmt.Sprintf("runtime: %s failed on %d/%d GPUs: %v", e.Op, n, len(e.PerGPU), first)
+	msg := fmt.Sprintf("runtime: %s failed on %d/%d GPUs: %v", e.Op, n, len(e.PerGPU), first)
+	if len(e.Down) > 0 {
+		msg += fmt.Sprintf(" (devices down: %v)", e.Down)
+	}
+	return msg
 }
 
 // Unwrap exposes the per-GPU errors to errors.Is/As.
@@ -130,6 +166,32 @@ func collectClientErrors(op string, errs []error) error {
 		}
 	}
 	return nil
+}
+
+// finishCollective grades the collective with the health tracker (when one
+// is installed) and attaches the down verdicts to the structured error.
+func (c *Cluster) finishCollective(op string, errs []error) error {
+	var down []int
+	if c.Health != nil {
+		down = c.Health.ObserveCollective(errs, c.DeviceIDs)
+	}
+	err := collectClientErrors(op, errs)
+	if err != nil && len(down) > 0 {
+		err.(*CollectiveError).Down = down
+	}
+	return err
+}
+
+// abortOnDeviceDown cancels the collective the moment any client reports a
+// dead device: clients that never touch the dead device would otherwise
+// block on peers that already gave up, turning one fail-stop death into a
+// full deadline stall. Ordinary transport failures do NOT abort the
+// collective — the structured per-GPU error semantics of the fault battery
+// depend on every client running to its own conclusion.
+func abortOnDeviceDown(err error, cancel context.CancelFunc) {
+	if err != nil && errors.Is(err, ErrDeviceDown) {
+		cancel()
+	}
 }
 
 // Allgather performs the forward graphAllgather: local[d] holds GPU d's
@@ -158,10 +220,11 @@ func (c *Cluster) AllgatherContext(ctx context.Context, local []*tensor.Matrix) 
 		go func(d int) {
 			defer wg.Done()
 			full[d], errs[d] = c.runForwardClient(ctx, d, local[d], cols, tp)
+			abortOnDeviceDown(errs[d], cancel)
 		}(d)
 	}
 	wg.Wait()
-	if err := collectClientErrors("graphAllgather", errs); err != nil {
+	if err := c.finishCollective("graphAllgather", errs); err != nil {
 		return nil, err
 	}
 	return full, nil
@@ -311,10 +374,11 @@ func (c *Cluster) BackwardAllgatherContext(ctx context.Context, gradFull []*tens
 		go func(d int) {
 			defer wg.Done()
 			out[d], errs[d] = c.runBackwardClient(ctx, d, gradFull[d], cols, flat, tp)
+			abortOnDeviceDown(errs[d], cancel)
 		}(d)
 	}
 	wg.Wait()
-	if err := collectClientErrors("backward graphAllgather", errs); err != nil {
+	if err := c.finishCollective("backward graphAllgather", errs); err != nil {
 		return nil, err
 	}
 	return out, nil

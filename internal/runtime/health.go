@@ -1,0 +1,169 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Failure detection. The crash transport makes transfers touching a *known*
+// dead device fail fast, but a real fail-stop failure first shows up as
+// repeated receive deadlines: the peer simply stops answering. The
+// HealthTracker is the cluster's failure detector — it grades each client's
+// collective outcome, converts explicit DeviceDownError evidence into an
+// immediate verdict, and converts DownAfter consecutive deadline-class
+// failures blamed on the same peer into a suspicion verdict. Verdicts are
+// fed back into the CrashTracker (so the crash transport starts fast-failing
+// the device) and surfaced to callers via CollectiveError.Down, which is
+// what the resilient training loop keys recovery on.
+
+// DefaultDownAfter is the consecutive deadline-strike threshold before a
+// device with no explicit down evidence is declared dead.
+const DefaultDownAfter = 2
+
+// HealthTracker converts per-collective client errors into per-device down
+// verdicts. Methods are safe for concurrent use.
+type HealthTracker struct {
+	// DownAfter is the number of consecutive deadline-class strikes against
+	// one device before it is declared down (<=0 means DefaultDownAfter).
+	DownAfter int
+
+	mu       sync.Mutex
+	crash    *CrashTracker
+	stats    *CommStats
+	strikes  map[int]int
+	verdicts map[int]bool
+	evidence CommSnapshot
+}
+
+// NewHealthTracker builds a detector that reports verdicts into crash (so
+// the transport layer fast-fails confirmed-dead devices) and snapshots stats
+// (may be nil) as evidence whenever a verdict is reached.
+func NewHealthTracker(downAfter int, crash *CrashTracker, stats *CommStats) *HealthTracker {
+	if downAfter <= 0 {
+		downAfter = DefaultDownAfter
+	}
+	return &HealthTracker{
+		DownAfter: downAfter,
+		crash:     crash,
+		stats:     stats,
+		strikes:   make(map[int]int),
+		verdicts:  make(map[int]bool),
+	}
+}
+
+// ObserveCollective grades one finished collective: errs[d] is the error
+// client d returned (nil for a clean finish) and ids maps client index to
+// external device id (nil = identity). It returns every device now judged
+// down, ascending, in external ids.
+func (h *HealthTracker) ObserveCollective(errs []error, ids []int) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dev := func(i int) int {
+		if ids == nil {
+			return i
+		}
+		return ids[i]
+	}
+	// Collect this round's suspicions first: a clean client exonerates a
+	// suspect only if no other client indicted it in the same collective
+	// (the survivor that never talks to the dead device must not erase the
+	// strikes of those that do).
+	indicted := make(map[int]bool)
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		var down *DeviceDownError
+		if errors.As(err, &down) {
+			h.verdictLocked(down.Device)
+			indicted[down.Device] = true
+			continue
+		}
+		if suspect, ok := suspectOf(err, i); ok {
+			indicted[dev(suspect)] = true
+		}
+	}
+	for d := range indicted {
+		if h.verdicts[d] {
+			continue
+		}
+		h.strikes[d]++
+		if h.strikes[d] >= h.DownAfter {
+			h.verdictLocked(d)
+		}
+	}
+	// A device that answered cleanly this round is alive: clear its strikes.
+	for i, err := range errs {
+		if err == nil && !indicted[dev(i)] {
+			delete(h.strikes, dev(i))
+		}
+	}
+	return h.downLocked()
+}
+
+// verdictLocked records a down verdict, snapshots evidence, and tells the
+// crash tracker so the transport fast-fails the device from now on.
+func (h *HealthTracker) verdictLocked(dev int) {
+	if h.verdicts[dev] {
+		return
+	}
+	h.verdicts[dev] = true
+	delete(h.strikes, dev)
+	if h.stats != nil {
+		h.evidence = h.stats.Snapshot()
+	}
+	if h.crash != nil {
+		h.crash.MarkDown(dev)
+	}
+}
+
+// suspectOf extracts the peer a client error implicates: a deadline-class
+// TransportError blames the remote endpoint of the transfer. Plain context
+// cancellation is collateral damage from another client aborting the
+// collective and implicates nobody.
+func suspectOf(err error, self int) (int, bool) {
+	var te *TransportError
+	if !errors.As(err, &te) {
+		return 0, false
+	}
+	if !errors.Is(te.Err, context.DeadlineExceeded) {
+		return 0, false
+	}
+	if te.Src != self {
+		return te.Src, true
+	}
+	return te.Dst, true
+}
+
+// Down reports whether the device (external id) has a down verdict.
+func (h *HealthTracker) Down(dev int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.verdicts[dev]
+}
+
+// DownDevices returns every device with a down verdict, ascending.
+func (h *HealthTracker) DownDevices() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.downLocked()
+}
+
+func (h *HealthTracker) downLocked() []int {
+	out := make([]int, 0, len(h.verdicts))
+	for d := range h.verdicts {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Evidence returns the stats snapshot captured at the most recent verdict
+// (zero value if none was reached or no stats were attached).
+func (h *HealthTracker) Evidence() CommSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.evidence
+}

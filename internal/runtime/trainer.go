@@ -67,6 +67,28 @@ func (tr *Trainer) Epoch() (float64, error) {
 	return tr.EpochContext(context.Background())
 }
 
+// EpochAt runs one epoch after advancing the cluster's crash clock: under a
+// CrashConfig schedule, devices scheduled to die at this epoch will fail the
+// first transfer reaching their stage. Callers of the resilient loop use it
+// so crash injection is a deterministic function of the epoch counter.
+func (tr *Trainer) EpochAt(ctx context.Context, epoch int) (float64, error) {
+	if tr.Cluster.Crash != nil {
+		tr.Cluster.Crash.BeginEpoch(epoch)
+	}
+	return tr.EpochContext(ctx)
+}
+
+// ZeroGrads clears the accumulated layer gradients on every replica. An
+// aborted epoch leaves partially-accumulated gradients behind; recovery
+// paths that retry an epoch on the same trainer must zero them first.
+func (tr *Trainer) ZeroGrads() {
+	for _, m := range tr.Models {
+		for _, l := range m.Layers {
+			l.ZeroGrads()
+		}
+	}
+}
+
 // EpochContext runs one distributed forward+backward pass, allreduces the
 // model gradients, and returns the global loss. Layer compute runs
 // concurrently on all clients; allgathers synchronize them, as on real

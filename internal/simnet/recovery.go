@@ -1,0 +1,99 @@
+package simnet
+
+// Recovery pricing: virtual-time cost of crash tolerance, mirroring the
+// runtime's checkpoint/recovery machinery (internal/checkpoint, dgcl.Train)
+// the way FaultProfile mirrors the fault-injecting transport. Experiments
+// use it to draw the recovery cost curve: how the checkpoint interval trades
+// steady-state overhead (write time every N epochs) against lost work plus
+// detect/replan/restore stalls on a failure — the classical Young/Daly
+// trade-off, priced for this system's fabrics.
+
+// RecoveryProfile prices checkpoint I/O and failure handling in virtual
+// time. Zero-valued fields take the listed defaults via withDefaults.
+type RecoveryProfile struct {
+	// CheckpointWriteBW is the durable-write bandwidth in bytes/second
+	// (default 2 GB/s, a local NVMe).
+	CheckpointWriteBW float64
+	// CheckpointReadBW is the restore-read bandwidth in bytes/second
+	// (default 4 GB/s).
+	CheckpointReadBW float64
+	// CommitLatency is the fixed fsync + rename commit cost per checkpoint,
+	// in seconds (default 5ms).
+	CommitLatency float64
+	// DetectLatency is the time from a device dying to a down verdict, in
+	// seconds (default 2s — the receive deadline that converts silence into
+	// a strike, times the verdict threshold is already folded in by callers
+	// that know their RetryPolicy).
+	DetectLatency float64
+	// ReplanLatency is the degraded SPST replan stall, in seconds (default
+	// 50ms cold; callers with a warm plan cache pass their own).
+	ReplanLatency float64
+}
+
+func (p *RecoveryProfile) withDefaults() RecoveryProfile {
+	g := RecoveryProfile{}
+	if p != nil {
+		g = *p
+	}
+	if g.CheckpointWriteBW == 0 {
+		g.CheckpointWriteBW = 2e9
+	}
+	if g.CheckpointReadBW == 0 {
+		g.CheckpointReadBW = 4e9
+	}
+	if g.CommitLatency == 0 {
+		g.CommitLatency = 5e-3
+	}
+	if g.DetectLatency == 0 {
+		g.DetectLatency = 2.0
+	}
+	if g.ReplanLatency == 0 {
+		g.ReplanLatency = 50e-3
+	}
+	return g
+}
+
+// CheckpointTime prices one durable checkpoint of the given payload size.
+func (p *RecoveryProfile) CheckpointTime(bytes int64) float64 {
+	g := p.withDefaults()
+	return float64(bytes)/g.CheckpointWriteBW + g.CommitLatency
+}
+
+// RestoreTime prices reading and verifying one checkpoint payload.
+func (p *RecoveryProfile) RestoreTime(bytes int64) float64 {
+	g := p.withDefaults()
+	return float64(bytes) / g.CheckpointReadBW
+}
+
+// RecoveryTime prices one full failure handling: detection, degraded
+// replanning, and checkpoint restore — the stall between the last failed
+// collective and the first degraded epoch.
+func (p *RecoveryProfile) RecoveryTime(checkpointBytes int64) float64 {
+	g := p.withDefaults()
+	return g.DetectLatency + g.ReplanLatency + p.RestoreTime(checkpointBytes)
+}
+
+// LostWorkTime prices the re-executed epochs after a restore: with
+// checkpoints every interval epochs, a crash loses on average interval/2
+// epochs of epochTime each (worst case interval).
+func (p *RecoveryProfile) LostWorkTime(interval int, epochTime float64) float64 {
+	if interval < 1 {
+		interval = 1
+	}
+	return float64(interval) / 2 * epochTime
+}
+
+// OverheadPerEpoch prices the expected per-epoch overhead of running with
+// checkpoints every interval epochs under a device failure rate of
+// failuresPerEpoch (failures per epoch, e.g. 1/10000): the amortized
+// checkpoint write plus the expected recovery and lost-work cost. Sweeping
+// interval traces the recovery cost curve; its minimum is the Young/Daly
+// optimal interval for the configuration.
+func (p *RecoveryProfile) OverheadPerEpoch(interval int, checkpointBytes int64, epochTime, failuresPerEpoch float64) float64 {
+	if interval < 1 {
+		interval = 1
+	}
+	steady := p.CheckpointTime(checkpointBytes) / float64(interval)
+	expectedStall := failuresPerEpoch * (p.RecoveryTime(checkpointBytes) + p.LostWorkTime(interval, epochTime))
+	return steady + expectedStall
+}

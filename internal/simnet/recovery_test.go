@@ -1,0 +1,85 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+// Recovery-pricing battery: the curve must behave like the Young/Daly
+// trade-off it models — monotone parts pulling in opposite directions with
+// an interior minimum, and defaults that kick in for zero-valued profiles.
+
+func TestRecoveryProfileDefaults(t *testing.T) {
+	var p *RecoveryProfile // nil profile: all defaults
+	bytes := int64(2e9)    // 1s write at the 2 GB/s default
+	if got := p.CheckpointTime(bytes); math.Abs(got-1.005) > 1e-9 {
+		t.Fatalf("CheckpointTime(2GB) = %v, want 1.005 (1s write + 5ms commit)", got)
+	}
+	if got := p.RestoreTime(bytes); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("RestoreTime(2GB) = %v, want 0.5 at the 4 GB/s default", got)
+	}
+	want := 2.0 + 50e-3 + 0.5
+	if got := p.RecoveryTime(bytes); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("RecoveryTime(2GB) = %v, want %v (detect + replan + restore)", got, want)
+	}
+}
+
+func TestRecoveryProfileOverrides(t *testing.T) {
+	p := &RecoveryProfile{CheckpointWriteBW: 1e9, CommitLatency: 1e-3}
+	if got := p.CheckpointTime(1e9); math.Abs(got-1.001) > 1e-9 {
+		t.Fatalf("CheckpointTime with overrides = %v, want 1.001", got)
+	}
+	// Unset fields still default: read bandwidth stays 4 GB/s.
+	if got := p.RestoreTime(4e9); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("RestoreTime with partial overrides = %v, want 1.0", got)
+	}
+}
+
+func TestLostWorkScalesWithInterval(t *testing.T) {
+	var p *RecoveryProfile
+	epoch := 2.0
+	if got := p.LostWorkTime(4, epoch); got != 4.0 {
+		t.Fatalf("LostWorkTime(4, 2s) = %v, want 4 (interval/2 epochs)", got)
+	}
+	if got := p.LostWorkTime(0, epoch); got != 1.0 {
+		t.Fatalf("LostWorkTime clamps interval to 1, got %v", got)
+	}
+}
+
+func TestOverheadPerEpochTracesAYoungDalyCurve(t *testing.T) {
+	var p *RecoveryProfile
+	const (
+		bytes     = int64(1e9)
+		epochTime = 10.0
+		failures  = 1e-3
+	)
+	over := func(interval int) float64 {
+		return p.OverheadPerEpoch(interval, bytes, epochTime, failures)
+	}
+	// Steady-state checkpoint cost strictly decreases with the interval;
+	// expected lost work strictly increases. Their sum must dip somewhere in
+	// between: the curve is not monotone.
+	best, bestAt := math.Inf(1), 0
+	for interval := 1; interval <= 10000; interval *= 10 {
+		if o := over(interval); o < best {
+			best, bestAt = o, interval
+		}
+	}
+	if bestAt == 1 || bestAt == 10000 {
+		t.Fatalf("overhead is monotone over the sweep (min at interval %d); the trade-off is missing", bestAt)
+	}
+	// With failures switched off, longer intervals are always at least as
+	// cheap — only the amortized write remains.
+	prev := math.Inf(1)
+	for interval := 1; interval <= 1024; interval *= 2 {
+		o := p.OverheadPerEpoch(interval, bytes, epochTime, 0)
+		if o > prev+1e-12 {
+			t.Fatalf("failure-free overhead rose from %v to %v at interval %d", prev, o, interval)
+		}
+		prev = o
+	}
+	// The degenerate interval clamps instead of dividing by zero.
+	if got := over(0); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("OverheadPerEpoch(0) = %v", got)
+	}
+}

@@ -1,0 +1,31 @@
+// Package testutil holds helpers shared by the test batteries of several
+// packages: the goroutine-leak checker used by the chaos, crash-recovery and
+// checkpoint suites. Production code must not import it.
+package testutil
+
+import (
+	"runtime"
+	"time"
+)
+
+// Goroutines returns the current live goroutine count.
+func Goroutines() int { return runtime.NumGoroutine() }
+
+// GoroutinesSettleTo polls until the live goroutine count returns to within
+// a small slack of baseline (test-harness goroutines come and go), or the
+// window expires. It reports whether the count settled — a false return
+// after a failure-injecting test means client goroutines leaked, typically
+// blocked forever on a channel whose peer gave up.
+func GoroutinesSettleTo(baseline int, window time.Duration) bool {
+	deadline := time.Now().Add(window)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}

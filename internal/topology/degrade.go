@@ -1,0 +1,63 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Without returns a degraded copy of t with the given GPUs (by GPU index)
+// removed: their fabric nodes and every physical connection touching them
+// disappear; all other nodes, connections, and explicit bandwidths are
+// preserved. Surviving GPUs are renumbered compactly 0..K'-1 in their
+// original order — callers keep their own survivor list to map compact
+// indices back to original device ids. Switches, CPUs, NICs, and host memory
+// always survive (the fail-stop model kills devices, not the fabric), so
+// survivor routes are unchanged except where they relayed through nothing —
+// which they never do, since route() refuses GPU relays.
+func Without(t *Topology, down []int) (*Topology, error) {
+	dead := make(map[int]bool, len(down))
+	for _, d := range down {
+		if d < 0 || d >= t.NumGPUs() {
+			return nil, fmt.Errorf("topology: cannot remove gpu %d from %d-GPU %s", d, t.NumGPUs(), t.Name)
+		}
+		dead[d] = true
+	}
+	if len(dead) == 0 {
+		return t, nil
+	}
+	if len(dead) >= t.NumGPUs() {
+		return nil, fmt.Errorf("topology: removing %d of %d GPUs leaves no survivors", len(dead), t.NumGPUs())
+	}
+	sorted := make([]int, 0, len(dead))
+	for d := range dead {
+		sorted = append(sorted, d)
+	}
+	sort.Ints(sorted)
+	labels := make([]string, len(sorted))
+	for i, d := range sorted {
+		labels[i] = fmt.Sprintf("%d", d)
+	}
+	b := NewBuilder(fmt.Sprintf("%s-minus-%s", t.Name, strings.Join(labels, ",")))
+	// Re-add nodes in original order: the builder assigns surviving GPUs
+	// their compact indices in the same order, and machine indices carry
+	// over unchanged.
+	remap := make([]NodeID, len(t.nodes))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for _, n := range t.nodes {
+		if n.Kind == GPU && dead[n.GPU] {
+			continue
+		}
+		remap[n.ID] = b.AddNode(n.Kind, n.Machine, n.Name)
+	}
+	for _, c := range t.conns {
+		a, bn := remap[c.A], remap[c.B]
+		if a < 0 || bn < 0 {
+			continue
+		}
+		b.ConnectBW(a, bn, c.Type, c.Bandwidth)
+	}
+	return b.Build(), nil
+}

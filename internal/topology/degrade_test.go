@@ -1,0 +1,120 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Degraded-topology battery: Without must renumber survivors compactly in
+// original order, preserve the fabric (switches, NICs, host memory) and
+// every connection between surviving nodes, keep survivor routes usable, and
+// reject degenerate removals.
+
+func TestWithoutRenumbersSurvivorsCompactly(t *testing.T) {
+	full := DGX1()
+	deg, err := Without(full, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.NumGPUs() != 6 {
+		t.Fatalf("degraded topology has %d GPUs, want 6", deg.NumGPUs())
+	}
+	// Survivors keep their original relative order: original GPUs
+	// 0,1,3,4,6,7 become compact 0..5. Node names carry the original labels.
+	wantNames := []string{"m0.gpu0", "m0.gpu1", "m0.gpu3", "m0.gpu4", "m0.gpu6", "m0.gpu7"}
+	for i := 0; i < deg.NumGPUs(); i++ {
+		if name := deg.Node(deg.GPUNode(i)).Name; name != wantNames[i] {
+			t.Errorf("compact GPU %d is %q, want %q", i, name, wantNames[i])
+		}
+	}
+	// Machine assignment carries over.
+	for i := 0; i < deg.NumGPUs(); i++ {
+		if deg.GPUMachine(i) != 0 {
+			t.Errorf("compact GPU %d on machine %d, want 0", i, deg.GPUMachine(i))
+		}
+	}
+}
+
+func TestWithoutPreservesSurvivorChannels(t *testing.T) {
+	full := TwoMachineDGX1()
+	deg, err := Without(full, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.NumMachines() != full.NumMachines() {
+		t.Fatalf("machines changed: %d -> %d", full.NumMachines(), deg.NumMachines())
+	}
+	// Every surviving ordered pair still has a channel, including the
+	// cross-machine ones that route through NICs — the fabric survives.
+	for i := 0; i < deg.NumGPUs(); i++ {
+		for j := 0; j < deg.NumGPUs(); j++ {
+			if i == j {
+				continue
+			}
+			if _, err := deg.GPUChannel(i, j); err != nil {
+				t.Fatalf("no channel between compact GPUs %d and %d: %v", i, j, err)
+			}
+		}
+	}
+	// A same-machine survivor pair that was NVLink-connected keeps its
+	// channel class and bottleneck bandwidth: compact 0 is original GPU 1.
+	chFull, err := full.GPUChannel(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chDeg, err := deg.GPUChannel(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chDeg.Class != chFull.Class {
+		t.Fatalf("surviving pair channel class changed: %v -> %v", chFull.Class, chDeg.Class)
+	}
+	if got, want := chDeg.Bottleneck(deg), chFull.Bottleneck(full); got != want {
+		t.Fatalf("surviving pair bottleneck changed: %v -> %v", want, got)
+	}
+}
+
+func TestWithoutEdgeCases(t *testing.T) {
+	full := SubDGX1(4)
+	if deg, err := Without(full, nil); err != nil || deg != full {
+		t.Fatalf("empty removal should return the topology unchanged, got %v %v", deg, err)
+	}
+	if _, err := Without(full, []int{4}); err == nil {
+		t.Fatal("out-of-range GPU accepted")
+	}
+	if _, err := Without(full, []int{-1}); err == nil {
+		t.Fatal("negative GPU accepted")
+	}
+	if _, err := Without(full, []int{0, 1, 2, 3}); err == nil {
+		t.Fatal("removing every GPU accepted")
+	}
+	// Duplicates collapse to one removal.
+	deg, err := Without(full, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.NumGPUs() != 3 {
+		t.Fatalf("duplicate removal left %d GPUs, want 3", deg.NumGPUs())
+	}
+}
+
+func TestWithoutIsDeterministic(t *testing.T) {
+	full := DGX1()
+	a, err := Without(full, []int{3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Without(full, []int{6, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name {
+		t.Fatalf("names differ across removal orders: %q vs %q", a.Name, b.Name)
+	}
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatal("node lists differ across removal orders")
+	}
+	if !reflect.DeepEqual(a.Conns(), b.Conns()) {
+		t.Fatal("connection lists differ across removal orders")
+	}
+}
