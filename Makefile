@@ -29,11 +29,18 @@ lint: vet
 
 # Bench-smoke tier: one iteration of every planner benchmark (serial,
 # parallel waves, warm cache), recorded as BENCH_plan.json for trend
-# tracking. -benchtime 1x keeps it fast enough for CI.
+# tracking. -benchtime 1x keeps it fast enough for CI. The runtime epoch
+# hot-path benchmarks (DESIGN.md §11) refresh the "current" run of
+# BENCH_runtime.json — the "baseline" run is the frozen pre-compile
+# implementation — and dgclbenchdiff prints the delta.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkPlanSPST|BenchmarkPlanCacheWarm' \
 		-benchtime 1x -json ./internal/core/ > BENCH_plan.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_plan.json | sed 's/"Output":"//;s/\\n//' || true
+	$(GO) test -run '^$$' -bench 'BenchmarkAllgather|BenchmarkEpoch' \
+		-benchtime 3x -json ./internal/runtime/ \
+		| $(GO) run ./cmd/dgclbenchdiff -record BENCH_runtime.json -label current
+	$(GO) run ./cmd/dgclbenchdiff -runs baseline,current BENCH_runtime.json
 
 # Chaos tier (DESIGN.md §10): the failure-handling battery under the race
 # detector — fault-injection chaos, fail-stop crash/recovery, checkpoint

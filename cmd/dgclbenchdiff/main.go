@@ -1,0 +1,280 @@
+// Command dgclbenchdiff records and compares Go benchmark results, the
+// trend-tracking half of the bench-smoke tier. It understands two inputs:
+// raw `go test -json` streams (what bench-smoke produces) and recorded runs
+// files like BENCH_runtime.json (labeled sets of benchmark results).
+//
+//	go test -bench ... -json ./internal/runtime/ \
+//	    | dgclbenchdiff -record BENCH_runtime.json -label current
+//	dgclbenchdiff -runs baseline,current BENCH_runtime.json   # delta table
+//	dgclbenchdiff old.json new.json                           # two streams
+//
+// The delta table matches benchmarks by name and prints ns/op, B/op and
+// allocs/op side by side with improvement factors; benchmarks present in
+// only one run are listed without a delta. Exit status is 0 on success, 1
+// on usage or parse errors — the tool never judges results, it only
+// reports them (the allocation budgets live in the test suite).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// result is one benchmark line.
+type result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_op"`
+	BPerOp   int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// run is a labeled set of results.
+type run struct {
+	Label   string   `json:"label"`
+	Results []result `json:"results"`
+}
+
+// record is the on-disk runs file (BENCH_runtime.json): multiple labeled
+// runs over the same benchmark set, typically "baseline" (pre-change) and
+// "current" (refreshed by bench-smoke).
+type record struct {
+	Note string `json:"note,omitempty"`
+	Runs []run  `json:"runs"`
+}
+
+func main() {
+	recordPath := flag.String("record", "", "upsert parsed results into this runs file (reads a stream from stdin or the file argument)")
+	label := flag.String("label", "current", "run label used with -record")
+	runsFlag := flag.String("runs", "", "two comma-separated run labels to compare within one runs file")
+	flag.Parse()
+	if err := mainErr(*recordPath, *label, *runsFlag, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "dgclbenchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr(recordPath, label, runsFlag string, args []string) error {
+	if recordPath != "" {
+		return recordRun(recordPath, label, args)
+	}
+	if runsFlag != "" {
+		if len(args) != 1 {
+			return fmt.Errorf("-runs wants exactly one runs file, got %d arguments", len(args))
+		}
+		labels := strings.Split(runsFlag, ",")
+		if len(labels) != 2 {
+			return fmt.Errorf("-runs wants two comma-separated labels, got %q", runsFlag)
+		}
+		rec, err := readRecord(args[0])
+		if err != nil {
+			return err
+		}
+		old, err := findRun(rec, strings.TrimSpace(labels[0]))
+		if err != nil {
+			return fmt.Errorf("%s: %w", args[0], err)
+		}
+		cur, err := findRun(rec, strings.TrimSpace(labels[1]))
+		if err != nil {
+			return fmt.Errorf("%s: %w", args[0], err)
+		}
+		printDelta(old, cur)
+		return nil
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("usage: dgclbenchdiff OLD.json NEW.json | dgclbenchdiff -runs A,B FILE.json | ... -record FILE.json -label L")
+	}
+	old, err := readAnyRun(args[0])
+	if err != nil {
+		return err
+	}
+	cur, err := readAnyRun(args[1])
+	if err != nil {
+		return err
+	}
+	printDelta(old, cur)
+	return nil
+}
+
+// recordRun parses a benchmark stream (stdin, or a file argument) and
+// upserts it as a labeled run in the runs file, preserving other labels.
+func recordRun(path, label string, args []string) error {
+	in := os.Stdin
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if len(args) > 1 {
+		return fmt.Errorf("-record wants at most one stream file, got %d arguments", len(args))
+	}
+	results, err := parseStream(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+	rec := &record{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, rec); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	replaced := false
+	for i := range rec.Runs {
+		if rec.Runs[i].Label == label {
+			rec.Runs[i].Results = results
+			replaced = true
+		}
+	}
+	if !replaced {
+		rec.Runs = append(rec.Runs, run{Label: label, Results: results})
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d benchmarks as %q in %s\n", len(results), label, path)
+	return nil
+}
+
+func readRecord(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec := &record{}
+	if err := json.Unmarshal(data, rec); err != nil || len(rec.Runs) == 0 {
+		return nil, fmt.Errorf("%s: not a runs file (want {\"runs\": [...]})", path)
+	}
+	return rec, nil
+}
+
+func findRun(rec *record, label string) (run, error) {
+	for _, r := range rec.Runs {
+		if r.Label == label {
+			return r, nil
+		}
+	}
+	return run{}, fmt.Errorf("no run labeled %q", label)
+}
+
+// readAnyRun loads a file as either a runs file (using its LAST run, the
+// most recently recorded) or a raw benchmark stream.
+func readAnyRun(path string) (run, error) {
+	if rec, err := readRecord(path); err == nil {
+		return rec.Runs[len(rec.Runs)-1], nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return run{}, err
+	}
+	defer f.Close()
+	results, err := parseStream(f)
+	if err != nil {
+		return run{}, err
+	}
+	if len(results) == 0 {
+		return run{}, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return run{Label: path, Results: results}, nil
+}
+
+// benchLine matches one `go test -bench` result line, with the optional
+// -N GOMAXPROCS suffix stripped off the name and optional B/op and
+// allocs/op columns (present when the benchmark calls ReportAllocs).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseStream extracts benchmark result lines from either a `go test -json`
+// event stream or plain `go test -bench` text. JSON events split one
+// logical result across several Output fragments, so fragments are
+// concatenated before line scanning.
+func parseStream(f *os.File) ([]result, error) {
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		var ev struct{ Output string }
+		if strings.HasPrefix(strings.TrimSpace(line), "{") && json.Unmarshal([]byte(line), &ev) == nil {
+			text.WriteString(ev.Output)
+		} else {
+			text.WriteString(line)
+			text.WriteString("\n")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var results []result
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bop, aop int64
+		if m[4] != "" {
+			bop, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			aop, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, result{Name: m[1], Iters: iters, NsPerOp: ns, BPerOp: bop, AllocsOp: aop})
+	}
+	return results, nil
+}
+
+// printDelta prints the side-by-side comparison, in the old run's order
+// with new-only benchmarks appended.
+func printDelta(old, cur run) {
+	curIdx := make(map[string]result, len(cur.Results))
+	for _, r := range cur.Results {
+		curIdx[r.Name] = r
+	}
+	oldSeen := make(map[string]bool, len(old.Results))
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "benchmark\tns/op %s\tns/op %s\tspeedup\tallocs %s\tallocs %s\tfactor\t\n",
+		old.Label, cur.Label, old.Label, cur.Label)
+	for _, o := range old.Results {
+		oldSeen[o.Name] = true
+		c, ok := curIdx[o.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t%.0f\t-\t-\t%d\t-\t-\t\n", o.Name, o.NsPerOp, o.AllocsOp)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%d\t%d\t%s\t\n",
+			o.Name, o.NsPerOp, c.NsPerOp, factor(o.NsPerOp, c.NsPerOp),
+			o.AllocsOp, c.AllocsOp, factor(float64(o.AllocsOp), float64(c.AllocsOp)))
+	}
+	for _, c := range cur.Results {
+		if !oldSeen[c.Name] {
+			fmt.Fprintf(w, "%s\t-\t%.0f\t-\t-\t%d\t-\t\n", c.Name, c.NsPerOp, c.AllocsOp)
+		}
+	}
+	w.Flush()
+}
+
+// factor formats old/new as an improvement multiple ("2.75x"; "0.50x" is a
+// regression), or "-" when either side is zero.
+func factor(before, after float64) string {
+	if before == 0 || after == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", before/after)
+}

@@ -54,6 +54,7 @@ func main() {
 	adam := flag.Bool("adam", false, "use Adam instead of SGD")
 	planner := flag.String("planner", "spst", "spst | p2p | spst-noforward")
 	cache := flag.Bool("cache-features", false, "cache remote layer-0 features across epochs")
+	kernelWorkers := flag.Int("kernel-workers", 1, "workers for the deterministic parallel tensor kernels (results bit-identical at any value)")
 	var chaos chaosOptions
 	flag.Float64Var(&chaos.drop, "fault-drop", 0, "transport drop probability per message (chaos)")
 	flag.Float64Var(&chaos.corrupt, "fault-corrupt", 0, "transport corruption probability per message (chaos)")
@@ -69,13 +70,13 @@ func main() {
 	flag.StringVar(&rec.crash, "crash", "", "fail-stop schedule dev@epoch[:stage],... (chaos)")
 	flag.Parse()
 
-	if err := run(*dataset, *model, *gpus, *scale, *epochs, *layers, *seed, float32(*lr), *adam, *planner, *cache, chaos, rec); err != nil {
+	if err := run(*dataset, *model, *gpus, *scale, *epochs, *layers, *seed, float32(*lr), *adam, *planner, *cache, *kernelWorkers, chaos, rec); err != nil {
 		fmt.Fprintln(os.Stderr, "dgcltrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float32, adam bool, planner string, cache bool, chaos chaosOptions, rec recoveryOptions) error {
+func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float32, adam bool, planner string, cache bool, kernelWorkers int, chaos chaosOptions, rec recoveryOptions) error {
 	ds, err := graph.DatasetByName(dataset)
 	if err != nil {
 		return err
@@ -94,7 +95,7 @@ func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64,
 	if err != nil {
 		return err
 	}
-	sys := dgcl.Init(topo, dgcl.Options{Planner: dgcl.Planner(planner), Seed: seed, CacheFeatures: cache})
+	sys := dgcl.Init(topo, dgcl.Options{Planner: dgcl.Planner(planner), Seed: seed, CacheFeatures: cache, KernelWorkers: kernelWorkers})
 	if err := sys.BuildCommInfo(g, ds.FeatureDim); err != nil {
 		return err
 	}

@@ -210,6 +210,14 @@ type Options struct {
 	// allgathered once and cached across epochs, trading memory for the
 	// elimination of the widest allgather of every epoch.
 	CacheFeatures bool
+	// KernelWorkers is the number of workers the deterministic parallel
+	// tensor kernels use (tensor.SetParallelism): 0 or 1 runs serially,
+	// larger values row-partition the dense matmuls and the aggregator
+	// forward. Results are bit-identical for every worker count — each
+	// output row has exactly one writer using the serial accumulation order.
+	// The knob is process-wide: the kernels are shared by every client
+	// goroutine, so the last Init wins.
+	KernelWorkers int
 }
 
 // System is an initialized DGCL instance bound to a topology, matching the
@@ -256,6 +264,9 @@ func (s *System) curTopo() *Topology {
 func Init(topo *Topology, opts Options) *System {
 	if opts.Planner == "" {
 		opts.Planner = PlannerSPST
+	}
+	if opts.KernelWorkers > 0 {
+		tensor.SetParallelism(opts.KernelWorkers)
 	}
 	return &System{topo: topo, opts: opts}
 }

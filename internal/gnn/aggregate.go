@@ -51,19 +51,29 @@ func (a *Aggregator) Forward(h *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("gnn: aggregate input %d rows for graph with %d vertices", h.Rows, a.G.NumVertices()))
 	}
 	out := tensor.New(a.NumOut, h.Cols)
-	for u := 0; u < a.NumOut; u++ {
-		w := a.weight(int32(u))
-		if w == 0 {
-			continue
-		}
-		orow := out.Row(u)
-		for _, v := range a.G.Neighbors(int32(u)) {
-			hrow := h.Row(int(v))
-			for j, x := range hrow {
-				orow[j] += w * x
+	// Each output row u is written by exactly one worker (the
+	// one-writer-per-row discipline of tensor.ParallelRows), and the w == 1
+	// sum path drops the multiply: 1*x == x bitwise for every float32 x. Both
+	// keep the result bit-identical to the historical serial loop at any
+	// worker count.
+	tensor.ParallelRows(a.NumOut, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			w := a.weight(int32(u))
+			if w == 0 {
+				continue
+			}
+			orow := out.Row(u)
+			if w == 1 {
+				for _, v := range a.G.Neighbors(int32(u)) {
+					tensor.AddTo(orow, h.Row(int(v)))
+				}
+			} else {
+				for _, v := range a.G.Neighbors(int32(u)) {
+					tensor.Axpy(w, h.Row(int(v)), orow)
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -77,17 +87,26 @@ func (a *Aggregator) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("gnn: aggregate grad %d rows, want %d", grad.Rows, a.NumOut))
 	}
 	out := tensor.New(a.G.NumVertices(), grad.Cols)
+	// Backward scatters into neighbor rows, so it stays serial (two vertices
+	// can share a neighbor — no one-writer-per-row partition exists). The
+	// scaled row w·grad_u is computed once per u instead of once per edge:
+	// every neighbor then receives the identical per-element products the
+	// per-edge loop produced, in the same order.
+	scaled := make([]float32, grad.Cols)
 	for u := 0; u < a.NumOut; u++ {
 		w := a.weight(int32(u))
 		if w == 0 {
 			continue
 		}
-		grow := grad.Row(u)
-		for _, v := range a.G.Neighbors(int32(u)) {
-			orow := out.Row(int(v))
-			for j, x := range grow {
-				orow[j] += w * x
+		src := grad.Row(u)
+		if w != 1 {
+			for j, x := range src {
+				scaled[j] = w * x
 			}
+			src = scaled
+		}
+		for _, v := range a.G.Neighbors(int32(u)) {
+			tensor.AddTo(out.Row(int(v)), src)
 		}
 	}
 	return out

@@ -35,6 +35,19 @@ type Layer interface {
 	CacheFloatsPerVertex() int64
 }
 
+// ParamsOnlyBackward is implemented by layers that can accumulate their
+// parameter gradients without materializing the gradient with respect to
+// their input. The trainer discards the input gradient of layer 0 (features
+// are not trained, so no backward allgather follows), and for the paper's
+// models that gradient is the most expensive part of the backward pass — a
+// dense a×bᵀ matmul plus the aggregator's per-edge scatter. BackwardParams
+// performs exactly Backward's parameter-gradient updates, in the same order,
+// and skips only the input-gradient computation, so allreduced weight
+// gradients are bit-identical either way.
+type ParamsOnlyBackward interface {
+	BackwardParams(agg *Aggregator, gradOut *tensor.Matrix)
+}
+
 // selfRows returns the first n rows of h as a view-backed matrix copy.
 func selfRows(h *tensor.Matrix, n int) *tensor.Matrix {
 	return tensor.FromData(n, h.Cols, h.Data[:n*h.Cols])
@@ -72,6 +85,14 @@ func (l *GCNLayer) Backward(agg *Aggregator, gradOut *tensor.Matrix) *tensor.Mat
 	tensor.AddInPlace(l.gB, tensor.BiasGrad(gradPre))
 	gradAgg := tensor.MatMulABT(gradPre, l.W)
 	return agg.Backward(gradAgg)
+}
+
+// BackwardParams is Backward minus the discarded input gradient (see
+// ParamsOnlyBackward).
+func (l *GCNLayer) BackwardParams(agg *Aggregator, gradOut *tensor.Matrix) {
+	gradPre := tensor.ReLUGrad(l.pre, gradOut)
+	tensor.AddInPlace(l.gW, tensor.MatMulATB(l.aggOut, gradPre))
+	tensor.AddInPlace(l.gB, tensor.BiasGrad(gradPre))
 }
 
 func (l *GCNLayer) Params() []*tensor.Matrix { return []*tensor.Matrix{l.W, l.B} }
@@ -122,6 +143,15 @@ func (l *CommNetLayer) Backward(agg *Aggregator, gradOut *tensor.Matrix) *tensor
 	// Self path contributes only to local rows.
 	tensor.AddInPlace(selfRows(gradIn, agg.NumOut), gradSelf)
 	return gradIn
+}
+
+// BackwardParams is Backward minus the discarded input gradient (see
+// ParamsOnlyBackward).
+func (l *CommNetLayer) BackwardParams(agg *Aggregator, gradOut *tensor.Matrix) {
+	gradPre := tensor.ReLUGrad(l.pre, gradOut)
+	tensor.AddInPlace(l.gWself, tensor.MatMulATB(l.self, gradPre))
+	tensor.AddInPlace(l.gWcomm, tensor.MatMulATB(l.aggOut, gradPre))
+	tensor.AddInPlace(l.gB, tensor.BiasGrad(gradPre))
 }
 
 func (l *CommNetLayer) Params() []*tensor.Matrix {
@@ -201,6 +231,20 @@ func (l *GINLayer) Backward(agg *Aggregator, gradOut *tensor.Matrix) *tensor.Mat
 		}
 	}
 	return gradIn
+}
+
+// BackwardParams is Backward minus the discarded input gradient (see
+// ParamsOnlyBackward). The hidden-layer gradient chain through the MLP is
+// still required for gW1; only the propagation back through the aggregation
+// (gradSum, the scatter, and the self contribution) is skipped.
+func (l *GINLayer) BackwardParams(agg *Aggregator, gradOut *tensor.Matrix) {
+	gradPre2 := tensor.ReLUGrad(l.pre2, gradOut)
+	tensor.AddInPlace(l.gW2, tensor.MatMulATB(l.hidden, gradPre2))
+	tensor.AddInPlace(l.gB2, tensor.BiasGrad(gradPre2))
+	gradHidden := tensor.MatMulABT(gradPre2, l.W2)
+	gradPre1 := tensor.ReLUGrad(l.pre1, gradHidden)
+	tensor.AddInPlace(l.gW1, tensor.MatMulATB(l.sum, gradPre1))
+	tensor.AddInPlace(l.gB1, tensor.BiasGrad(gradPre1))
 }
 
 func (l *GINLayer) Params() []*tensor.Matrix {

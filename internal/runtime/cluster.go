@@ -60,6 +60,19 @@ type Cluster struct {
 	// identity mapping; a degraded cluster rebuilt over survivors sets it so
 	// crash schedules and down verdicts keep using the original numbering.
 	DeviceIDs []int
+
+	// Compiled routing programs (program.go), built lazily on first use and
+	// reused by every subsequent collective. The backward program depends on
+	// the NonAtomic setting, so the value it was compiled for is recorded.
+	progMu       sync.Mutex
+	fwdProg      *routingProgram
+	bwdProg      *routingProgram
+	bwdNonAtomic bool
+
+	// pool recycles transfer payloads and relay arenas across collectives
+	// (pool.go): steady-state epochs allocate O(1) per transfer instead of
+	// O(vertices).
+	pool bufPool
 }
 
 // DeviceID returns the external id of client index d (identity when no
@@ -209,9 +222,13 @@ func (c *Cluster) AllgatherContext(ctx context.Context, local []*tensor.Matrix) 
 	if err != nil {
 		return nil, err
 	}
+	prog, err := c.forwardProgram()
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := c.collectiveContext(ctx)
 	defer cancel()
-	tp := c.newTransport(c.Plan.Stages, true)
+	tp, release := c.acquireTransport(prog, true)
 	full := make([]*tensor.Matrix, c.K)
 	var wg sync.WaitGroup
 	errs := make([]error, c.K)
@@ -219,15 +236,25 @@ func (c *Cluster) AllgatherContext(ctx context.Context, local []*tensor.Matrix) 
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			full[d], errs[d] = c.runForwardClient(ctx, d, local[d], cols, tp)
+			full[d], errs[d] = c.runForwardClient(ctx, d, local[d], cols, tp, &prog.clients[d])
 			abortOnDeviceDown(errs[d], cancel)
 		}(d)
 	}
 	wg.Wait()
+	release(anyError(errs))
 	if err := c.finishCollective("graphAllgather", errs); err != nil {
 		return nil, err
 	}
 	return full, nil
+}
+
+func anyError(errs []error) bool {
+	for _, err := range errs {
+		if err != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // validateInputs checks one matrix per GPU, all non-nil with a consistent
@@ -254,80 +281,46 @@ func (c *Cluster) validateInputs(in []*tensor.Matrix, backward bool) (int, error
 	return cols, nil
 }
 
-// vertexStore resolves a client's view of vertex embeddings during an
-// allgather: rows it owns, rows delivered for its own use, and rows held
-// only for relaying.
-type vertexStore struct {
-	ownerIndex map[int32]int // global id -> row in the owned matrix
-	owned      *tensor.Matrix
-	received   map[int32][]float32
-}
-
-func newVertexStore(ownedIDs []int32, owned *tensor.Matrix) *vertexStore {
-	idx := make(map[int32]int, len(ownedIDs))
-	for i, v := range ownedIDs {
-		idx[v] = i
+// runForwardClient executes one client's compiled forward program. The
+// output `full` doubles as the vertex store: owned rows are block-copied up
+// front, received rows land directly at their precomputed local-graph
+// offset, and relay-only rows live in a pooled arena. Send buffers come
+// from the pool and are returned by the *receiving* client once consumed
+// (Cluster.recycle), so steady-state epochs allocate no payload memory.
+func (c *Cluster) runForwardClient(ctx context.Context, d int, local *tensor.Matrix, cols int, tp Transport, cp *clientProgram) (*tensor.Matrix, error) {
+	lg := c.Locals[d]
+	full := tensor.New(lg.NumLocal+lg.NumRemote, cols)
+	copy(full.Data[:lg.NumLocal*cols], local.Data)
+	arena := c.pool.get(cp.arenaRows, cols)
+	defer c.pool.put(arena)
+	rowOf := func(s int32) []float32 {
+		if s >= 0 {
+			return full.Row(int(s))
+		}
+		return arena.Row(int(-s - 1))
 	}
-	return &vertexStore{ownerIndex: idx, owned: owned, received: make(map[int32][]float32)}
-}
-
-func (vs *vertexStore) row(v int32) ([]float32, bool) {
-	if i, ok := vs.ownerIndex[v]; ok {
-		return vs.owned.Row(i), true
-	}
-	r, ok := vs.received[v]
-	return r, ok
-}
-
-func (c *Cluster) runForwardClient(ctx context.Context, d int, local *tensor.Matrix, cols int, tp Transport) (*tensor.Matrix, error) {
-	store := newVertexStore(c.Rel.Local[d], local)
-	for si, st := range c.Plan.Stages {
+	for _, cs := range cp.stages {
 		// Send phase: fill peer buffers and set done flags.
-		for ti, tr := range st {
-			if tr.Src != d {
-				continue
+		for _, snd := range cs.sends {
+			buf := c.pool.get(len(snd.slots), cols)
+			for i, s := range snd.slots {
+				copy(buf.Row(i), rowOf(s))
 			}
-			buf := tensor.New(len(tr.Vertices), cols)
-			for i, v := range tr.Vertices {
-				row, ok := store.row(v)
-				if !ok {
-					return nil, fmt.Errorf("runtime: GPU %d lacks vertex %d at stage %d", d, v, si+1)
-				}
-				copy(buf.Row(i), row)
-			}
-			if err := tp.Send(ctx, TransferKey{si, ti}, tr, NewMessage(buf)); err != nil {
+			if err := tp.Send(ctx, snd.key, snd.tr, c.seal(Message{Rows: buf})); err != nil {
 				return nil, fmt.Errorf("runtime: GPU %d send: %w", d, err)
 			}
 		}
 		// Receive phase: wait for each peer's done flag and retrieve.
-		for ti, tr := range st {
-			if tr.Dst != d {
-				continue
-			}
-			msg, err := tp.Recv(ctx, TransferKey{si, ti}, tr)
+		for _, rcv := range cs.recvs {
+			msg, err := tp.Recv(ctx, rcv.key, rcv.tr)
 			if err != nil {
 				return nil, fmt.Errorf("runtime: GPU %d recv: %w", d, err)
 			}
-			for i, v := range tr.Vertices {
-				row := make([]float32, cols)
-				copy(row, msg.Rows.Row(i))
-				store.received[v] = row
+			for i, s := range rcv.slots {
+				copy(rowOf(s), msg.Rows.Row(i))
 			}
+			c.recycle(msg)
 		}
-	}
-	// Assemble the local-graph-ordered output.
-	lg := c.Locals[d]
-	full := tensor.New(lg.NumLocal+lg.NumRemote, cols)
-	for i := 0; i < lg.NumLocal; i++ {
-		copy(full.Row(i), local.Row(i))
-	}
-	for i := 0; i < lg.NumRemote; i++ {
-		v := lg.GlobalID[lg.NumLocal+i]
-		row, ok := store.received[v]
-		if !ok {
-			return nil, fmt.Errorf("runtime: GPU %d never received remote vertex %d", d, v)
-		}
-		copy(full.Row(lg.NumLocal+i), row)
 	}
 	return full, nil
 }
@@ -353,19 +346,13 @@ func (c *Cluster) BackwardAllgatherContext(ctx context.Context, gradFull []*tens
 			return nil, fmt.Errorf("runtime: GPU %d gradient has %d rows, local graph has %d", d, m.Rows, lg.NumLocal+lg.NumRemote)
 		}
 	}
+	prog, err := c.backwardProgram()
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := c.collectiveContext(ctx)
 	defer cancel()
-	sched := c.Plan.BackwardSchedule(c.NonAtomic)
-	// Flatten sub-stages into transport-keyed stages.
-	flat := make([][]core.Transfer, 0, len(sched))
-	for _, stage := range sched {
-		var all []core.Transfer
-		for _, sub := range stage {
-			all = append(all, sub...)
-		}
-		flat = append(flat, all)
-	}
-	tp := c.newTransport(flat, false)
+	tp, release := c.acquireTransport(prog, false)
 	out := make([]*tensor.Matrix, c.K)
 	errs := make([]error, c.K)
 	var wg sync.WaitGroup
@@ -373,87 +360,68 @@ func (c *Cluster) BackwardAllgatherContext(ctx context.Context, gradFull []*tens
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			out[d], errs[d] = c.runBackwardClient(ctx, d, gradFull[d], cols, flat, tp)
+			out[d], errs[d] = c.runBackwardClient(ctx, d, gradFull[d], cols, tp, &prog.clients[d])
 			abortOnDeviceDown(errs[d], cancel)
 		}(d)
 	}
 	wg.Wait()
+	release(anyError(errs))
 	if err := c.finishCollective("backward graphAllgather", errs); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-func (c *Cluster) runBackwardClient(ctx context.Context, d int, gradFull *tensor.Matrix, cols int, flat [][]core.Transfer, tp Transport) (*tensor.Matrix, error) {
+// runBackwardClient executes one client's compiled backward program. The
+// owned-gradient accumulator starts from the local rows of gradFull; the
+// pooled arena holds the running gradient for every non-owned vertex this
+// client touches — rows [0, NumRemote) start as the remote rows of gradFull
+// (this client's own consumer contribution), relay-only rows start at zero
+// (zeroed explicitly: pooled memory is dirty). Receives accumulate row i of
+// the payload into its precomputed slot in the exact legacy iteration order,
+// so results are bit-identical to the map-based path.
+func (c *Cluster) runBackwardClient(ctx context.Context, d int, gradFull *tensor.Matrix, cols int, tp Transport, cp *clientProgram) (*tensor.Matrix, error) {
 	lg := c.Locals[d]
-	// accum holds this client's running gradient for every non-owned vertex
-	// it touched: its own consumer contribution (remote rows of gradFull)
-	// plus anything received from tree children. Relay-only vertices start
-	// at zero.
-	accum := make(map[int32][]float32)
-	for i := 0; i < lg.NumRemote; i++ {
-		v := lg.GlobalID[lg.NumLocal+i]
-		row := make([]float32, cols)
-		copy(row, gradFull.Row(lg.NumLocal+i))
-		accum[v] = row
-	}
-	grow := func(v int32) []float32 {
-		r, ok := accum[v]
-		if !ok {
-			r = make([]float32, cols)
-			accum[v] = r
-		}
-		return r
-	}
-	// Owned-vertex accumulator starts from the local rows of gradFull.
 	own := tensor.New(lg.NumLocal, cols)
-	for i := 0; i < lg.NumLocal; i++ {
-		copy(own.Row(i), gradFull.Row(i))
+	copy(own.Data, gradFull.Data[:lg.NumLocal*cols])
+	arena := c.pool.get(cp.arenaRows, cols)
+	defer c.pool.put(arena)
+	copy(arena.Data[:lg.NumRemote*cols], gradFull.Data[lg.NumLocal*cols:])
+	clear(arena.Data[cp.zeroFrom*cols:])
+	rowOf := func(s int32) []float32 {
+		if s >= 0 {
+			return own.Row(int(s))
+		}
+		return arena.Row(int(-s - 1))
 	}
-	ownIndex := make(map[int32]int, lg.NumLocal)
-	for i := 0; i < lg.NumLocal; i++ {
-		ownIndex[lg.GlobalID[i]] = i
-	}
-	for si, st := range flat {
+	for _, cs := range cp.stages {
 		// Send first within a backward stage: tree edges at different depths
 		// land in different backward stages, so a stage's sends only carry
 		// gradients accumulated in earlier stages — never data arriving in
 		// this stage's receives. Sending first therefore preserves both
 		// correctness and deadlock freedom, exactly as in forward.
-		for ti, tr := range st {
-			if tr.Src != d {
-				continue
+		for _, snd := range cs.sends {
+			buf := c.pool.get(len(snd.slots), cols)
+			for i, s := range snd.slots {
+				copy(buf.Row(i), rowOf(s))
 			}
-			buf := tensor.New(len(tr.Vertices), cols)
-			for i, v := range tr.Vertices {
-				copy(buf.Row(i), grow(v))
-			}
-			if err := tp.Send(ctx, TransferKey{si, ti}, tr, NewMessage(buf)); err != nil {
+			if err := tp.Send(ctx, snd.key, snd.tr, c.seal(Message{Rows: buf})); err != nil {
 				return nil, fmt.Errorf("runtime: GPU %d send: %w", d, err)
 			}
 		}
-		for ti, tr := range st {
-			if tr.Dst != d {
-				continue
-			}
-			msg, err := tp.Recv(ctx, TransferKey{si, ti}, tr)
+		for _, rcv := range cs.recvs {
+			msg, err := tp.Recv(ctx, rcv.key, rcv.tr)
 			if err != nil {
 				return nil, fmt.Errorf("runtime: GPU %d recv: %w", d, err)
 			}
-			for i, v := range tr.Vertices {
+			for i, s := range rcv.slots {
 				src := msg.Rows.Row(i)
-				if oi, ok := ownIndex[v]; ok {
-					dst := own.Row(oi)
-					for j, x := range src {
-						dst[j] += x
-					}
-				} else {
-					dst := grow(v)
-					for j, x := range src {
-						dst[j] += x
-					}
+				dst := rowOf(s)
+				for j, x := range src {
+					dst[j] += x
 				}
 			}
+			c.recycle(msg)
 		}
 	}
 	return own, nil

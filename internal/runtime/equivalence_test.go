@@ -1,0 +1,442 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"dgcl/internal/core"
+	"dgcl/internal/gnn"
+	"dgcl/internal/graph"
+	"dgcl/internal/tensor"
+	"dgcl/internal/testutil"
+)
+
+// Equivalence battery for the compiled hot path (ISSUE 5, DESIGN.md §11).
+// Three claims are checked:
+//
+//  1. The compiled routing programs are bit-identical to the legacy
+//     map-based client loops they replaced. The legacy loops are preserved
+//     below as test-local reference implementations and both paths run over
+//     the full 50-triple property battery, forward and backward, with a
+//     required diff of exactly zero — compilation reorders nothing, so not
+//     even float32 rounding may differ.
+//  2. Training epochs are bit-identical at any kernel worker count (the
+//     one-writer-per-row argument), checked across 20 seeded configurations
+//     with W=1 vs W=4: losses and final weights must match bit for bit.
+//  3. Steady-state collectives allocate O(1) per client, never per vertex:
+//     after one warm-up (program compile + buffer-pool fill), allocations
+//     per operation stay far below the vertex count.
+
+// legacyForwardAllgather runs the pre-compile forward client loops — the
+// map-based vertexStore implementation this PR replaced — over a fresh
+// channel transport. Kept verbatim (modulo test-local naming) as the
+// reference the compiled path must reproduce bit for bit.
+func legacyForwardAllgather(c *Cluster, local []*tensor.Matrix) ([]*tensor.Matrix, error) {
+	cols := local[0].Cols
+	tp := NewChanTransport(c.Plan.Stages)
+	full := make([]*tensor.Matrix, c.K)
+	errs := make([]error, c.K)
+	var wg sync.WaitGroup
+	for d := 0; d < c.K; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			full[d], errs[d] = legacyForwardClient(c, d, local[d], cols, tp)
+		}(d)
+	}
+	wg.Wait()
+	return full, collectClientErrors("legacy graphAllgather", errs)
+}
+
+func legacyForwardClient(c *Cluster, d int, local *tensor.Matrix, cols int, tp Transport) (*tensor.Matrix, error) {
+	ctx := context.Background()
+	ownerIndex := make(map[int32]int, len(c.Rel.Local[d]))
+	for i, v := range c.Rel.Local[d] {
+		ownerIndex[v] = i
+	}
+	received := make(map[int32][]float32)
+	row := func(v int32) ([]float32, bool) {
+		if i, ok := ownerIndex[v]; ok {
+			return local.Row(i), true
+		}
+		r, ok := received[v]
+		return r, ok
+	}
+	for si, st := range c.Plan.Stages {
+		for ti, tr := range st {
+			if tr.Src != d {
+				continue
+			}
+			buf := tensor.New(len(tr.Vertices), cols)
+			for i, v := range tr.Vertices {
+				r, ok := row(v)
+				if !ok {
+					return nil, fmt.Errorf("legacy: GPU %d lacks vertex %d at stage %d", d, v, si+1)
+				}
+				copy(buf.Row(i), r)
+			}
+			if err := tp.Send(ctx, TransferKey{si, ti}, tr, NewMessage(buf)); err != nil {
+				return nil, err
+			}
+		}
+		for ti, tr := range st {
+			if tr.Dst != d {
+				continue
+			}
+			msg, err := tp.Recv(ctx, TransferKey{si, ti}, tr)
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range tr.Vertices {
+				r := make([]float32, cols)
+				copy(r, msg.Rows.Row(i))
+				received[v] = r
+			}
+		}
+	}
+	lg := c.Locals[d]
+	full := tensor.New(lg.NumLocal+lg.NumRemote, cols)
+	for i := 0; i < lg.NumLocal; i++ {
+		copy(full.Row(i), local.Row(i))
+	}
+	for i := 0; i < lg.NumRemote; i++ {
+		v := lg.GlobalID[lg.NumLocal+i]
+		r, ok := received[v]
+		if !ok {
+			return nil, fmt.Errorf("legacy: GPU %d never received remote vertex %d", d, v)
+		}
+		copy(full.Row(lg.NumLocal+i), r)
+	}
+	return full, nil
+}
+
+// legacyBackwardAllgather runs the pre-compile backward client loops (map
+// accumulators, per-stage BackwardSchedule flattening) over a fresh channel
+// transport.
+func legacyBackwardAllgather(c *Cluster, gradFull []*tensor.Matrix) ([]*tensor.Matrix, error) {
+	cols := gradFull[0].Cols
+	sched := c.Plan.BackwardSchedule(c.NonAtomic)
+	flat := make([][]core.Transfer, 0, len(sched))
+	for _, stage := range sched {
+		var all []core.Transfer
+		for _, sub := range stage {
+			all = append(all, sub...)
+		}
+		flat = append(flat, all)
+	}
+	tp := NewChanTransport(flat)
+	out := make([]*tensor.Matrix, c.K)
+	errs := make([]error, c.K)
+	var wg sync.WaitGroup
+	for d := 0; d < c.K; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			out[d], errs[d] = legacyBackwardClient(c, d, gradFull[d], cols, flat, tp)
+		}(d)
+	}
+	wg.Wait()
+	return out, collectClientErrors("legacy backward graphAllgather", errs)
+}
+
+func legacyBackwardClient(c *Cluster, d int, gradFull *tensor.Matrix, cols int, flat [][]core.Transfer, tp Transport) (*tensor.Matrix, error) {
+	ctx := context.Background()
+	lg := c.Locals[d]
+	accum := make(map[int32][]float32)
+	for i := 0; i < lg.NumRemote; i++ {
+		v := lg.GlobalID[lg.NumLocal+i]
+		r := make([]float32, cols)
+		copy(r, gradFull.Row(lg.NumLocal+i))
+		accum[v] = r
+	}
+	grow := func(v int32) []float32 {
+		r, ok := accum[v]
+		if !ok {
+			r = make([]float32, cols)
+			accum[v] = r
+		}
+		return r
+	}
+	own := tensor.New(lg.NumLocal, cols)
+	for i := 0; i < lg.NumLocal; i++ {
+		copy(own.Row(i), gradFull.Row(i))
+	}
+	ownIndex := make(map[int32]int, lg.NumLocal)
+	for i := 0; i < lg.NumLocal; i++ {
+		ownIndex[lg.GlobalID[i]] = i
+	}
+	for si, st := range flat {
+		for ti, tr := range st {
+			if tr.Src != d {
+				continue
+			}
+			buf := tensor.New(len(tr.Vertices), cols)
+			for i, v := range tr.Vertices {
+				copy(buf.Row(i), grow(v))
+			}
+			if err := tp.Send(ctx, TransferKey{si, ti}, tr, NewMessage(buf)); err != nil {
+				return nil, err
+			}
+		}
+		for ti, tr := range st {
+			if tr.Dst != d {
+				continue
+			}
+			msg, err := tp.Recv(ctx, TransferKey{si, ti}, tr)
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range tr.Vertices {
+				src := msg.Rows.Row(i)
+				if oi, ok := ownIndex[v]; ok {
+					dst := own.Row(oi)
+					for j, x := range src {
+						dst[j] += x
+					}
+				} else {
+					dst := grow(v)
+					for j, x := range src {
+						dst[j] += x
+					}
+				}
+			}
+		}
+	}
+	return own, nil
+}
+
+// TestCompiledForwardMatchesLegacyBitwise runs the compiled forward path and
+// the legacy map-based loops over the 50-triple battery and requires exactly
+// zero difference: the compile walk mirrors the legacy execution order, so
+// the outputs must be the same bits, not merely close.
+func TestCompiledForwardMatchesLegacyBitwise(t *testing.T) {
+	for _, pc := range propertyCases() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			t.Parallel()
+			c, rel := buildCase(t, pc)
+			local := make([]*tensor.Matrix, pc.k)
+			for d := 0; d < pc.k; d++ {
+				local[d] = tensor.New(len(rel.Local[d]), pc.cols).FillRandom(pc.seed + int64(d))
+			}
+			got, err := c.Allgather(local)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := legacyForwardAllgather(c, local)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d < pc.k; d++ {
+				if diff := tensor.MaxAbsDiff(got[d], want[d]); diff != 0 {
+					t.Fatalf("GPU %d: compiled forward differs from legacy loops by %v", d, diff)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledBackwardMatchesLegacyBitwise is the backward half: relay
+// accumulation reorders nothing between the two implementations (same stage,
+// transfer, and vertex order), so gradients must match bit for bit even
+// though float addition is non-associative.
+func TestCompiledBackwardMatchesLegacyBitwise(t *testing.T) {
+	for _, pc := range propertyCases() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			t.Parallel()
+			c, _ := buildCase(t, pc)
+			c.NonAtomic = pc.seed%2 == 0
+			gradFull := make([]*tensor.Matrix, pc.k)
+			for d := 0; d < pc.k; d++ {
+				lg := c.Locals[d]
+				gradFull[d] = tensor.New(lg.NumLocal+lg.NumRemote, pc.cols).FillRandom(pc.seed + 100 + int64(d))
+			}
+			got, err := c.BackwardAllgather(gradFull)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := legacyBackwardAllgather(c, gradFull)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d < pc.k; d++ {
+				if diff := tensor.MaxAbsDiff(got[d], want[d]); diff != 0 {
+					t.Fatalf("GPU %d: compiled backward differs from legacy loops by %v", d, diff)
+				}
+			}
+		})
+	}
+}
+
+// runSeededTraining builds a fresh trainer for one seed and runs three
+// epochs under the given kernel worker count, returning the per-epoch losses
+// and the final replica-0 model.
+func runSeededTraining(t *testing.T, seed int64, workers int) ([]float64, *gnn.Model) {
+	t.Helper()
+	prev := tensor.SetParallelism(workers)
+	defer tensor.SetParallelism(prev)
+	ks := []int{2, 3, 4, 6, 8}
+	k := ks[seed%int64(len(ks))]
+	cols := 8
+	pc := propertyCase{
+		name:    fmt.Sprintf("train/seed%d", seed),
+		g:       graph.CommunityGraph(150+10*int(seed%7), 6, 3, 0.8, seed),
+		k:       k,
+		seed:    seed,
+		planner: "spst",
+		cols:    cols,
+	}
+	c, _ := buildCase(t, pc)
+	verts := pc.g.NumVertices()
+	model := gnn.NewModel(gnn.GCN, cols, cols/2, 2, seed)
+	features := tensor.New(verts, cols).FillRandom(seed + 1)
+	targets := tensor.New(verts, cols/2).FillRandom(seed + 2)
+	tr, err := NewTrainer(c, model, features, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var losses []float64
+	for e := 0; e < 3; e++ {
+		loss, err := tr.Epoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Step(0.05)
+		losses = append(losses, loss)
+	}
+	return losses, tr.Models[0]
+}
+
+// TestEpochBitIdenticalAcrossKernelWorkers trains the same seeded
+// configuration twice — serial kernels vs four workers — and requires the
+// losses and every final weight to agree bit for bit. This is the acceptance
+// check for the one-writer-per-row determinism argument: parallelism may
+// only change wall-clock time, never a single bit of the result.
+func TestEpochBitIdenticalAcrossKernelWorkers(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			l1, m1 := runSeededTraining(t, seed, 1)
+			l4, m4 := runSeededTraining(t, seed, 4)
+			for e := range l1 {
+				if math.Float64bits(l1[e]) != math.Float64bits(l4[e]) {
+					t.Fatalf("epoch %d loss diverges: W=1 %v, W=4 %v", e, l1[e], l4[e])
+				}
+			}
+			for li, layer := range m1.Layers {
+				p4 := m4.Layers[li].Params()
+				for pi, p1 := range layer.Params() {
+					for j := range p1.Data {
+						if math.Float32bits(p1.Data[j]) != math.Float32bits(p4[pi].Data[j]) {
+							t.Fatalf("layer %d param %d element %d diverges: W=1 %v, W=4 %v",
+								li, pi, j, p1.Data[j], p4[pi].Data[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// allocCluster builds the k=4 benchmark workload used by the allocation
+// budgets: 1200 vertices means a per-vertex allocation anywhere in the hot
+// path blows the budget by an order of magnitude.
+func allocCluster(t *testing.T) (*Cluster, []*tensor.Matrix, []*tensor.Matrix) {
+	t.Helper()
+	pc := propertyCase{
+		name: "alloc", g: graph.CommunityGraph(1200, 8, 4, 0.8, 1),
+		k: 4, seed: 1, planner: "spst", cols: 32,
+	}
+	c, rel := buildCase(t, pc)
+	local := make([]*tensor.Matrix, pc.k)
+	gradFull := make([]*tensor.Matrix, pc.k)
+	for d := 0; d < pc.k; d++ {
+		local[d] = tensor.New(len(rel.Local[d]), pc.cols).FillRandom(int64(d) + 1)
+		lg := c.Locals[d]
+		gradFull[d] = tensor.New(lg.NumLocal+lg.NumRemote, pc.cols).FillRandom(int64(d) + 50)
+	}
+	return c, local, gradFull
+}
+
+// TestAllgatherSteadyStateAllocs pins the steady-state allocation budget of
+// the forward collective: after one warm-up collective (program compile,
+// transport cache, buffer-pool fill), each Allgather allocates a small
+// per-client constant — the result matrices, goroutines, and context
+// plumbing — and nothing per vertex or per transfer row.
+func TestAllgatherSteadyStateAllocs(t *testing.T) {
+	c, local, _ := allocCluster(t)
+	if _, err := c.Allgather(local); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := c.Allgather(local); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The race tier still exercises the steady-state path above, but race
+	// instrumentation allocates shadow state so the count is asserted only
+	// in plain builds.
+	if testutil.RaceEnabled {
+		t.Skipf("allocation count (%.0f with -race instrumentation) asserted in non-race builds only", allocs)
+	}
+	// The steady state measures ~25 allocs; 200 leaves headroom for runtime
+	// noise while staying two orders of magnitude under one-per-vertex.
+	if allocs > 200 {
+		t.Fatalf("forward allgather allocates %.0f objects per op in steady state (budget 200)", allocs)
+	}
+}
+
+// TestBackwardAllgatherSteadyStateAllocs is the backward twin of the
+// forward budget test.
+func TestBackwardAllgatherSteadyStateAllocs(t *testing.T) {
+	c, _, gradFull := allocCluster(t)
+	if _, err := c.BackwardAllgather(gradFull); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := c.BackwardAllgather(gradFull); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if testutil.RaceEnabled {
+		t.Skipf("allocation count (%.0f with -race instrumentation) asserted in non-race builds only", allocs)
+	}
+	if allocs > 200 {
+		t.Fatalf("backward allgather allocates %.0f objects per op in steady state (budget 200)", allocs)
+	}
+}
+
+// TestEpochSteadyStateAllocs bounds the whole training epoch: layer
+// activations are per-epoch allocations by design, but the budget (2000)
+// still sits far below the pre-compile implementation's per-vertex behavior
+// (~38k allocs on the benchmark workload) and below one alloc per vertex.
+func TestEpochSteadyStateAllocs(t *testing.T) {
+	c, _, _ := allocCluster(t)
+	model := gnn.NewModel(gnn.GCN, 32, 16, 2, 7)
+	features := tensor.New(1200, 32).FillRandom(11)
+	targets := tensor.New(1200, 16).FillRandom(12)
+	tr, err := NewTrainer(c, model, features, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Step(0.01)
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := tr.Epoch(); err != nil {
+			t.Fatal(err)
+		}
+		tr.Step(0.01)
+	})
+	if testutil.RaceEnabled {
+		t.Skipf("allocation count (%.0f with -race instrumentation) asserted in non-race builds only", allocs)
+	}
+	if allocs > 2000 {
+		t.Fatalf("epoch allocates %.0f objects per op in steady state (budget 2000)", allocs)
+	}
+}

@@ -1,0 +1,70 @@
+package runtime
+
+import (
+	"math/bits"
+	"sync"
+
+	"dgcl/internal/tensor"
+)
+
+// bufPool is the cluster-owned, size-classed free list for transfer payloads
+// and relay arenas. Every steady-state buffer the hot path needs cycles
+// through here: a send buffer is filled, shipped, consumed by the receiving
+// client, and returned (see Cluster.recycle), so after the first collective
+// warms the pool an epoch performs no per-transfer data allocations.
+//
+// This is deliberately NOT a sync.Pool: sync.Pool is emptied by GC at
+// arbitrary points, which would make steady-state allocation counts (and the
+// testing.AllocsPerRun regression tests that pin them) nondeterministic. A
+// plain mutex-guarded free list keeps buffers alive for the cluster's
+// lifetime — bounded, since the working set is one collective's transfers.
+//
+// Buffers are binned by power-of-two capacity: get rounds the requested
+// element count up to the next power of two (so a 100-row buffer can later
+// serve a 97-row transfer of the same shape class), put bins by the
+// capacity's floor class. All pooled buffers are allocated here with exact
+// power-of-two capacity, so the round trip is exact. Pooled memory is dirty
+// by contract: every consumer either fully overwrites the rows it uses
+// (sends, forward arenas) or explicitly zeroes accumulator rows (backward
+// relay arenas).
+type bufPool struct {
+	mu   sync.Mutex
+	free map[int][]*tensor.Matrix
+}
+
+// get returns a rows×cols matrix backed by pooled (dirty) memory,
+// allocating a power-of-two-capacity buffer on a miss.
+func (p *bufPool) get(rows, cols int) *tensor.Matrix {
+	n := rows * cols
+	if n == 0 {
+		return tensor.New(rows, cols)
+	}
+	cl := bits.Len(uint(n - 1)) // ceil(log2(n))
+	p.mu.Lock()
+	if ms := p.free[cl]; len(ms) > 0 {
+		m := ms[len(ms)-1]
+		p.free[cl] = ms[:len(ms)-1]
+		p.mu.Unlock()
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:n]
+		return m
+	}
+	p.mu.Unlock()
+	return tensor.FromData(rows, cols, make([]float32, n, 1<<cl)[:n])
+}
+
+// put returns a matrix to the pool. Zero-capacity and non-pool-shaped
+// buffers are dropped.
+func (p *bufPool) put(m *tensor.Matrix) {
+	c := cap(m.Data)
+	if c == 0 {
+		return
+	}
+	cl := bits.Len(uint(c)) - 1 // floor(log2(cap))
+	p.mu.Lock()
+	if p.free == nil {
+		p.free = make(map[int][]*tensor.Matrix)
+	}
+	p.free[cl] = append(p.free[cl], m)
+	p.mu.Unlock()
+}

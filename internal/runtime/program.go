@@ -1,0 +1,324 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"dgcl/internal/core"
+)
+
+// Compiled routing programs: the plan-dependent half of a collective, hoisted
+// out of the per-epoch hot path. The legacy client loop rescanned every
+// stage's full transfer list per client (`if tr.Src != d { continue }`) and
+// resolved vertex ids through per-client hash maps on every row it touched —
+// O(K·transfers) of scanning plus a map probe per vertex per stage, every
+// collective, even though the plan never changes between epochs. compile()
+// walks the stage list once per client and emits a clientProgram: the
+// client's own sends/receives per stage with every vertex id pre-resolved to
+// a dense slot. Execution then touches only its own transfers and does
+// nothing but row copies at precomputed offsets.
+//
+// Slot encoding (per client):
+//
+//   - forward: slot s >= 0 is row s of the assembled `full` matrix (rows
+//     [0, NumLocal) are the owned block, NumLocal+i is remote vertex i in
+//     local-graph order — so receives land directly in their final output
+//     position). s < 0 is row -s-1 of the relay arena: vertices this client
+//     forwards down the tree but never consumes.
+//   - backward: slot s >= 0 is row s of the owned-gradient accumulator;
+//     s < 0 is row -s-1 of the gradient arena. Arena rows [0, NumRemote)
+//     start as the remote block of gradFull (this client's own consumer
+//     contribution); rows beyond that are relay-only accumulators that start
+//     at zero.
+//
+// Programs are compiled lazily (once per plan, and per backward schedule
+// flavor) under progMu and shared by all subsequent collectives. The
+// backward program also hoists the BackwardSchedule sub-stage flattening,
+// which the legacy path redid on every call.
+
+// sendStep is one compiled send: the transport key, the transfer (for
+// accounting and fault classification), and the source slot of each payload
+// row.
+type sendStep struct {
+	key   TransferKey
+	tr    core.Transfer
+	slots []int32
+}
+
+// recvStep is one compiled receive: the destination slot of each incoming
+// row.
+type recvStep struct {
+	key   TransferKey
+	tr    core.Transfer
+	slots []int32
+}
+
+// clientStage is one client's view of one (flattened) stage.
+type clientStage struct {
+	sends []sendStep
+	recvs []recvStep
+}
+
+// clientProgram is one client's complete routing program for a collective
+// direction, plus the relay-arena row count its execution needs.
+type clientProgram struct {
+	stages    []clientStage
+	arenaRows int
+	// zeroFrom is the first arena row that must be zeroed before use
+	// (backward relay accumulators; pooled arena memory is dirty). Forward
+	// programs set it to arenaRows: every forward arena row is fully
+	// overwritten by a receive before anything reads it.
+	zeroFrom int
+}
+
+// routingProgram is the compiled form of one collective direction: per-client
+// programs, the flattened transport stage layout they are keyed against, and
+// the reusable plain-stack transport bound to that layout.
+type routingProgram struct {
+	clients []clientProgram
+	stages  [][]core.Transfer
+	tc      transportCache
+}
+
+// forwardProgram returns the compiled forward program, compiling it on first
+// use.
+func (c *Cluster) forwardProgram() (*routingProgram, error) {
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	if c.fwdProg == nil {
+		p, err := c.compileForward()
+		if err != nil {
+			return nil, err
+		}
+		c.fwdProg = p
+	}
+	return c.fwdProg, nil
+}
+
+// backwardProgram returns the compiled backward program for the cluster's
+// current NonAtomic setting, recompiling when the setting changed since the
+// last call.
+func (c *Cluster) backwardProgram() (*routingProgram, error) {
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	if c.bwdProg == nil || c.bwdNonAtomic != c.NonAtomic {
+		p, err := c.compileBackward(c.NonAtomic)
+		if err != nil {
+			return nil, err
+		}
+		c.bwdProg, c.bwdNonAtomic = p, c.NonAtomic
+	}
+	return c.bwdProg, nil
+}
+
+// compileForward builds the forward program from c.Plan.Stages. The walk
+// mirrors execution order exactly — stages in order, transfers in index
+// order, sends resolved against pre-stage state — so the availability check
+// the legacy loop made per row ("GPU d lacks vertex v at stage s") moves to
+// compile time.
+func (c *Cluster) compileForward() (*routingProgram, error) {
+	stages := c.Plan.Stages
+	prog := &routingProgram{clients: make([]clientProgram, c.K), stages: stages}
+	for d := 0; d < c.K; d++ {
+		lg := c.Locals[d]
+		slot := make(map[int32]int32, lg.NumLocal+lg.NumRemote)
+		for i, v := range c.Rel.Local[d] {
+			slot[v] = int32(i)
+		}
+		for i := 0; i < lg.NumRemote; i++ {
+			slot[lg.GlobalID[lg.NumLocal+i]] = int32(lg.NumLocal + i)
+		}
+		cp := &prog.clients[d]
+		cp.stages = make([]clientStage, len(stages))
+		relay := 0
+		for si, st := range stages {
+			cs := &cp.stages[si]
+			for ti, tr := range st {
+				if tr.Src == d {
+					slots := make([]int32, len(tr.Vertices))
+					for i, v := range tr.Vertices {
+						s, ok := slot[v]
+						if !ok {
+							return nil, fmt.Errorf("runtime: GPU %d lacks vertex %d at stage %d", d, v, si+1)
+						}
+						slots[i] = s
+					}
+					cs.sends = append(cs.sends, sendStep{key: TransferKey{si, ti}, tr: tr, slots: slots})
+				}
+				if tr.Dst == d {
+					slots := make([]int32, len(tr.Vertices))
+					for i, v := range tr.Vertices {
+						s, ok := slot[v]
+						if !ok {
+							// Relay-only vertex: held in the arena, never part
+							// of this client's local graph.
+							s = int32(-(relay + 1))
+							relay++
+							slot[v] = s
+						}
+						slots[i] = s
+					}
+					cs.recvs = append(cs.recvs, recvStep{key: TransferKey{si, ti}, tr: tr, slots: slots})
+				}
+			}
+		}
+		cp.arenaRows, cp.zeroFrom = relay, relay
+	}
+	return prog, nil
+}
+
+// compileBackward builds the backward program, flattening the (non-)atomic
+// sub-stage schedule into transport-keyed stages once instead of on every
+// collective. Sends resolve before the stage's receives register new relay
+// slots, matching the legacy send-then-receive execution order; a relay
+// vertex first seen in a send starts as a zeroed accumulator exactly as the
+// legacy grow() did.
+func (c *Cluster) compileBackward(nonAtomic bool) (*routingProgram, error) {
+	sched := c.Plan.BackwardSchedule(nonAtomic)
+	flat := make([][]core.Transfer, 0, len(sched))
+	for _, stage := range sched {
+		var all []core.Transfer
+		for _, sub := range stage {
+			all = append(all, sub...)
+		}
+		flat = append(flat, all)
+	}
+	prog := &routingProgram{clients: make([]clientProgram, c.K), stages: flat}
+	for d := 0; d < c.K; d++ {
+		lg := c.Locals[d]
+		slot := make(map[int32]int32, lg.NumLocal+lg.NumRemote)
+		for i := 0; i < lg.NumLocal; i++ {
+			slot[lg.GlobalID[i]] = int32(i)
+		}
+		for i := 0; i < lg.NumRemote; i++ {
+			slot[lg.GlobalID[lg.NumLocal+i]] = int32(-(i + 1))
+		}
+		arenaRows := lg.NumRemote
+		grow := func(v int32) int32 {
+			s, ok := slot[v]
+			if !ok {
+				s = int32(-(arenaRows + 1))
+				arenaRows++
+				slot[v] = s
+			}
+			return s
+		}
+		cp := &prog.clients[d]
+		cp.stages = make([]clientStage, len(flat))
+		for si, st := range flat {
+			cs := &cp.stages[si]
+			for ti, tr := range st {
+				if tr.Src == d {
+					slots := make([]int32, len(tr.Vertices))
+					for i, v := range tr.Vertices {
+						slots[i] = grow(v)
+					}
+					cs.sends = append(cs.sends, sendStep{key: TransferKey{si, ti}, tr: tr, slots: slots})
+				}
+				if tr.Dst == d {
+					slots := make([]int32, len(tr.Vertices))
+					for i, v := range tr.Vertices {
+						slots[i] = grow(v)
+					}
+					cs.recvs = append(cs.recvs, recvStep{key: TransferKey{si, ti}, tr: tr, slots: slots})
+				}
+			}
+		}
+		cp.arenaRows, cp.zeroFrom = arenaRows, lg.NumRemote
+	}
+	return prog, nil
+}
+
+// transportCache holds the reusable plain-stack channel transport bound to
+// one compiled program's stage layout. Channel construction is O(transfers)
+// per collective; on the undecorated stack (no faults, crashes, retries, or
+// custom base) a successful collective provably drains every channel — each
+// key is sent exactly once and received exactly once — so the transport can
+// carry the next collective as-is. Any client error (timeout, cancellation)
+// may strand messages in channels, so a failed collective discards the
+// cached transport instead of handing stale payloads to the next epoch.
+type transportCache struct {
+	mu    sync.Mutex
+	base  Transport
+	inUse bool
+}
+
+// acquire returns the cached transport when it is free, building (and, when
+// the slot is empty, adopting) a fresh one otherwise. A transport built
+// while the slot is busy simply runs uncached.
+func (tc *transportCache) acquire(stages [][]core.Transfer) Transport {
+	tc.mu.Lock()
+	if tc.base != nil && !tc.inUse {
+		tc.inUse = true
+		b := tc.base
+		tc.mu.Unlock()
+		return b
+	}
+	busy := tc.base != nil
+	tc.mu.Unlock()
+	b := NewChanTransport(stages)
+	if !busy {
+		tc.mu.Lock()
+		if tc.base == nil {
+			tc.base, tc.inUse = b, true
+		}
+		tc.mu.Unlock()
+	}
+	return b
+}
+
+// release frees the cached transport after a collective; a failed collective
+// drops it so the next acquire rebuilds clean channels.
+func (tc *transportCache) release(b Transport, failed bool) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.base != b {
+		return
+	}
+	tc.inUse = false
+	if failed {
+		tc.base = nil
+	}
+}
+
+// acquireTransport composes the transport stack for one collective over the
+// program's stage layout. Decorated stacks (fault injection, crash, retry,
+// custom base) are rebuilt per collective exactly as before — their
+// correctness depends on per-collective state. The plain stack reuses the
+// program's cached channel transport, re-wrapping only the cheap stats
+// accounting layer.
+func (c *Cluster) acquireTransport(prog *routingProgram, relayAware bool) (Transport, func(failed bool)) {
+	if c.Transport != nil || c.Faults != nil || c.Crash != nil || c.Retry != nil {
+		return c.newTransport(prog.stages, relayAware), func(bool) {}
+	}
+	base := prog.tc.acquire(prog.stages)
+	tp := base
+	if c.Stats != nil {
+		tp = newStatsTransport(tp, c.Stats, c.Rel.Owner, relayAware)
+	}
+	return tp, func(failed bool) { prog.tc.release(base, failed) }
+}
+
+// seal wraps a payload for transmission. Checksums exist so transports that
+// can corrupt data (fault injection, custom bases) are detectable end to
+// end; the plain in-process stack never corrupts, and nothing on it ever
+// calls Valid, so sealing there would burn a hash of every payload float for
+// a field nobody reads. Profiling put that hash at ~21% of epoch CPU.
+func (c *Cluster) seal(rows Message) Message {
+	if c.Faults != nil || c.Transport != nil {
+		rows.Checksum = payloadChecksum(rows.Rows)
+	}
+	return rows
+}
+
+// recycle returns a consumed receive buffer to the cluster pool. Only the
+// built-in transport stack is eligible: after a successful Recv the per-key
+// channel is never read again, faults corrupt copies rather than originals,
+// and retransmissions re-deliver the same buffer at most once — so the
+// consumer owns the payload outright. A custom Transport may retain or
+// replay messages, so its payloads are never pooled.
+func (c *Cluster) recycle(msg Message) {
+	if c.Transport == nil && msg.Rows != nil {
+		c.pool.put(msg.Rows)
+	}
+}

@@ -364,25 +364,3 @@ func TestMultiHopForwardingDeliversData(t *testing.T) {
 		t.Fatalf("relayed gradient sum = %v want 12", got)
 	}
 }
-
-func BenchmarkAllgather(b *testing.B) {
-	g := graph.CommunityGraph(2000, 16, 8, 0.8, 1)
-	p, _ := partition.KWay(g, 8, partition.Options{Seed: 1})
-	rel, _ := comm.Build(g, p)
-	topo := topology.DGX1()
-	plan, _, _ := core.PlanSPST(rel, topo, 128, core.SPSTOptions{Seed: 1})
-	c, err := NewCluster(rel, comm.BuildLocalGraphs(g, rel), plan)
-	if err != nil {
-		b.Fatal(err)
-	}
-	local := make([]*tensor.Matrix, 8)
-	for d := 0; d < 8; d++ {
-		local[d] = tensor.New(len(rel.Local[d]), 32).FillRandom(int64(d))
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := c.Allgather(local); err != nil {
-			b.Fatal(err)
-		}
-	}
-}

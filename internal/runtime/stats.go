@@ -180,10 +180,14 @@ func newStatsTransport(inner Transport, stats *CommStats, owner []int32, relayAw
 }
 
 func (t *statsTransport) Send(ctx context.Context, key TransferKey, tr core.Transfer, msg Message) error {
+	// Size the payload before handing it to the inner transport: once Send
+	// returns, the receiver may already have consumed the message and
+	// recycled its buffer into the cluster pool, so the sender must not
+	// touch msg afterwards.
+	bytes := int64(len(msg.Rows.Data)) * 4
 	if err := t.inner.Send(ctx, key, tr, msg); err != nil {
 		return err
 	}
-	bytes := int64(len(msg.Rows.Data)) * 4
 	t.stats.sentBytes[tr.Src].Add(bytes)
 	t.stats.sentMsgs[tr.Src].Add(1)
 	if t.relayAware && len(tr.Vertices) > 0 {

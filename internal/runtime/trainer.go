@@ -140,7 +140,15 @@ func (tr *Trainer) EpochContext(ctx context.Context) (float64, error) {
 			wg.Add(1)
 			go func(d int) {
 				defer wg.Done()
-				gradFull[d] = tr.Models[d].Layers[l].Backward(tr.Aggs[d], grads[d])
+				layer := tr.Models[d].Layers[l]
+				// Layer 0's input gradient would be discarded below; layers
+				// that support it accumulate parameter gradients only (the
+				// updates are identical, see gnn.ParamsOnlyBackward).
+				if po, ok := layer.(gnn.ParamsOnlyBackward); ok && l == 0 {
+					po.BackwardParams(tr.Aggs[d], grads[d])
+					return
+				}
+				gradFull[d] = layer.Backward(tr.Aggs[d], grads[d])
 			}(d)
 		}
 		wg.Wait()

@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Kernel micro-benchmarks. The sparse variants fill `a` with ~50% zeros (a
+// ReLU-like activation pattern) to quantify the former data-dependent
+// zero-skip in MatMul/MatMulATB; the dense variants are the planner-priced
+// common case (aggregated embeddings are dense). DESIGN.md §11 records the
+// before/after numbers for the zero-skip removal.
+
+func fillSparse(m *Matrix, seed int64) {
+	m.FillRandom(seed)
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+func benchShapes() []struct{ m, k, n int } {
+	return []struct{ m, k, n int }{
+		{400, 64, 32},
+		{1000, 128, 64},
+	}
+}
+
+func BenchmarkMatMulDense(b *testing.B) {
+	for _, s := range benchShapes() {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := New(s.m, s.k).FillRandom(1)
+			w := New(s.k, s.n).FillRandom(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(a, w)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulSparse(b *testing.B) {
+	for _, s := range benchShapes() {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := New(s.m, s.k)
+			fillSparse(a, 1)
+			w := New(s.k, s.n).FillRandom(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(a, w)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulATBDense(b *testing.B) {
+	for _, s := range benchShapes() {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := New(s.m, s.k).FillRandom(1)
+			g := New(s.m, s.n).FillRandom(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulATB(a, g)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulATBSparse(b *testing.B) {
+	for _, s := range benchShapes() {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := New(s.m, s.k)
+			fillSparse(a, 1)
+			g := New(s.m, s.n).FillRandom(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulATB(a, g)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulABT(b *testing.B) {
+	for _, s := range benchShapes() {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := New(s.m, s.n).FillRandom(1)
+			w := New(s.k, s.n).FillRandom(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulABT(a, w)
+			}
+		})
+	}
+}

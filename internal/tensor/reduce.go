@@ -17,9 +17,25 @@ package tensor
 //
 //dgclvet:detreduce canonical fixed-order float32 inner product.
 func Dot(a, b []float32) float32 {
+	b = b[:len(a)] // bounds hint: elides the per-element check on b[i]
 	var s float32
-	for i := range a {
-		s += a[i] * b[i]
+	// 4-way unroll through a SINGLE accumulator: the adds form the exact
+	// left-to-right dependency chain of the plain loop (no partial sums, no
+	// reassociation), so results are unchanged; only loop overhead goes away.
+	for len(a) >= 4 && len(b) >= 4 {
+		s += a[0] * b[0]
+		s += a[1] * b[1]
+		s += a[2] * b[2]
+		s += a[3] * b[3]
+		a, b = a[4:], b[4:]
+	}
+	if len(a) >= 2 && len(b) >= 2 {
+		s += a[0] * b[0]
+		s += a[1] * b[1]
+		a, b = a[2:], b[2:]
+	}
+	if len(a) >= 1 && len(b) >= 1 {
+		s += a[0] * b[0]
 	}
 	return s
 }

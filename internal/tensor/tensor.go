@@ -76,46 +76,31 @@ func (m *Matrix) FillRandom(seed int64) *Matrix {
 	return m
 }
 
-// MatMul returns a × b.
+// MatMul returns a × b. Output rows are computed independently (see
+// parallel.go), so the kernel parallelizes bit-identically across
+// SetParallelism workers. The historical data-dependent zero-skip on a's
+// elements is gone: it made kernel cost a function of activation sparsity in
+// a way the device cost model never priced, for a win that only materialized
+// on artificially sparse inputs (aggregated embeddings are dense in
+// practice; see DESIGN.md §11 for the before/after numbers).
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	ParallelRows(a.Rows, func(lo, hi int) { matMulRows(a, b, out, lo, hi) })
 	return out
 }
 
-// MatMulATB returns aᵀ × b (used for weight gradients).
+// MatMulATB returns aᵀ × b (used for weight gradients). Workers partition
+// the OUTPUT rows k (columns of a); the row loop over a stays outermost per
+// worker so each output row accumulates in the exact serial order.
 func MatMulATB(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: matmulATB %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow, brow := a.Row(i), b.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	ParallelRows(a.Cols, func(lo, hi int) { matMulATBRows(a, b, out, lo, hi) })
 	return out
 }
 
@@ -125,13 +110,7 @@ func MatMulABT(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmulABT %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
-		}
-	}
+	ParallelRows(a.Rows, func(lo, hi int) { matMulABTRows(a, b, out, lo, hi) })
 	return out
 }
 
@@ -167,10 +146,7 @@ func AddBiasInPlace(a *Matrix, bias *Matrix) {
 func BiasGrad(grad *Matrix) *Matrix {
 	out := New(1, grad.Cols)
 	for i := 0; i < grad.Rows; i++ {
-		row := grad.Row(i)
-		for j, v := range row {
-			out.Data[j] += v
-		}
+		AddTo(out.Data, grad.Row(i))
 	}
 	return out
 }

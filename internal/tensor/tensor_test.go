@@ -3,6 +3,7 @@ package tensor
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -203,6 +204,138 @@ func TestPropertyGatherScatterRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// serialMatMul / serialATB / serialABT are naive reference kernels with the
+// canonical serial accumulation order (i outermost, ascending k, ascending
+// j). The parallel kernels must match them bit for bit at every worker
+// count: each output row is written by exactly one worker using exactly this
+// order.
+func serialMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+func serialATB(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			for j := 0; j < b.Cols; j++ {
+				out.Data[k*out.Cols+j] += av * b.At(i, j)
+			}
+		}
+	}
+	return out
+}
+
+func serialABT(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			out.Set(i, j, Dot(a.Row(i), b.Row(j)))
+		}
+	}
+	return out
+}
+
+// bitsEqual compares two matrices bit for bit (stricter than MaxAbsDiff == 0,
+// which treats +0 and -0 as equal).
+func bitsEqual(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelKernelsBitIdentical runs all three matmul kernels across odd
+// shapes (including rows < workers, single rows/cols, and sparse inputs
+// exercising the removed zero-skip) at worker counts {1, 2, 3, 4, 7},
+// asserting bit-identical outputs against the serial references.
+func TestParallelKernelsBitIdentical(t *testing.T) {
+	defer SetParallelism(SetParallelism(1))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 7}, {7, 3, 1}, {2, 9, 4}, {13, 6, 5}, {64, 17, 9}, {5, 1, 3},
+	}
+	for _, sparse := range []bool{false, true} {
+		for si, s := range shapes {
+			a := New(s.m, s.k).FillRandom(int64(si) + 1)
+			bm := New(s.k, s.n).FillRandom(int64(si) + 100)
+			atb := New(s.m, s.n).FillRandom(int64(si) + 200) // b for ATB (same rows as a)
+			abt := New(s.n, s.k).FillRandom(int64(si) + 300) // b for ABT (same cols as a)
+			if sparse {
+				for i := range a.Data {
+					if a.Data[i] < 0 {
+						a.Data[i] = 0
+					}
+				}
+			}
+			wantMM := serialMatMul(a, bm)
+			wantATB := serialATB(a, atb)
+			wantABT := serialABT(a, abt)
+			for _, w := range []int{1, 2, 3, 4, 7} {
+				SetParallelism(w)
+				if got := MatMul(a, bm); !bitsEqual(got, wantMM) {
+					t.Fatalf("MatMul %dx%dx%d diverges at W=%d (sparse=%v)", s.m, s.k, s.n, w, sparse)
+				}
+				if got := MatMulATB(a, atb); !bitsEqual(got, wantATB) {
+					t.Fatalf("MatMulATB %dx%dx%d diverges at W=%d (sparse=%v)", s.m, s.k, s.n, w, sparse)
+				}
+				if got := MatMulABT(a, abt); !bitsEqual(got, wantABT) {
+					t.Fatalf("MatMulABT %dx%dx%d diverges at W=%d (sparse=%v)", s.m, s.k, s.n, w, sparse)
+				}
+			}
+			SetParallelism(1)
+		}
+	}
+}
+
+// TestSetParallelism pins the knob's semantics: returns the previous value,
+// clamps to >= 1, and ParallelRows covers [0, rows) in disjoint chunks.
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(SetParallelism(1))
+	if prev := SetParallelism(4); prev != 1 {
+		t.Fatalf("previous parallelism = %d, want 1", prev)
+	}
+	if got := Parallelism(); got != 4 {
+		t.Fatalf("parallelism = %d, want 4", got)
+	}
+	if prev := SetParallelism(0); prev != 4 {
+		t.Fatalf("previous parallelism = %d, want 4", prev)
+	}
+	if got := Parallelism(); got != 1 {
+		t.Fatalf("parallelism after clamp = %d, want 1", got)
+	}
+	SetParallelism(3)
+	for _, rows := range []int{0, 1, 2, 3, 7, 10} {
+		covered := make([]int32, rows)
+		var mu sync.Mutex
+		ParallelRows(rows, func(lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("rows=%d: row %d covered %d times", rows, i, c)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether this binary was built with -race. Allocation
+// budgets (testing.AllocsPerRun) are asserted only in non-race builds: race
+// instrumentation allocates shadow state of its own, so the counts are not
+// meaningful there.
+const RaceEnabled = true
