@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race fuzz vet lint check bench-smoke chaos
+.PHONY: all build test race fuzz fuzz-smoke vet lint check bench-smoke chaos wire
 
 all: build test
 
@@ -37,8 +37,8 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkPlanSPST|BenchmarkPlanCacheWarm' \
 		-benchtime 1x -json ./internal/core/ > BENCH_plan.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_plan.json | sed 's/"Output":"//;s/\\n//' || true
-	$(GO) test -run '^$$' -bench 'BenchmarkAllgather|BenchmarkEpoch' \
-		-benchtime 3x -json ./internal/runtime/ \
+	$(GO) test -run '^$$' -bench 'BenchmarkAllgather|BenchmarkEpoch|BenchmarkWire' \
+		-benchtime 3x -json ./internal/runtime/ ./internal/comm/wire/ \
 		| $(GO) run ./cmd/dgclbenchdiff -record BENCH_runtime.json -label current
 	$(GO) run ./cmd/dgclbenchdiff -runs baseline,current BENCH_runtime.json
 
@@ -50,12 +50,25 @@ chaos:
 		-run 'Chaos|Crash|Health|Recover|Resume|Corrupt|Degrade|Without|Checkpoint|Snapshot|Store' \
 		./internal/runtime/ ./internal/checkpoint/ ./internal/topology/ ./internal/gnn/ .
 
-# Short fuzz pass over every fuzz target (plan decode + round-trip, plus the
-# untrusted checkpoint decode paths).
+# Wire tier: the transport conformance battery (one table over channels,
+# decorators, and sockets), the socket chaos/crash suite, and the
+# multi-process worker protocol, all under the race detector.
+wire:
+	$(GO) test -race -count=1 \
+		-run 'Conformance|Fabric|Frame|PlanDigest|Handshake|Exchanges|SteadyState|Wire|Distributed|SplitRanks|Coordinator|OSProcesses' \
+		./internal/comm/wire/ ./internal/runtime/ ./internal/worker/ .
+
+# Short fuzz pass over every fuzz target (plan decode + round-trip, the
+# untrusted checkpoint decode paths, and the wire frame decoder).
 fuzz:
 	$(GO) test -fuzz=FuzzReadPlanJSON -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzPlanJSONRoundTrip -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -fuzz=FuzzDecodeManifest -fuzztime=$(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/comm/wire/
 
-check: vet lint build test race chaos
+# CI-sized fuzz pass: same targets, 10 seconds each.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
+
+check: vet lint build test race chaos wire

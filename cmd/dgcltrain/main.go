@@ -7,12 +7,21 @@
 //
 //	dgcltrain -dataset Reddit -model GCN -gpus 8 -epochs 3
 //	dgcltrain -dataset Web-Google -model GAT -gpus 16 -planner p2p
+//
+// With -listen, dgcltrain instead coordinates a real multi-process run: it
+// waits for -workers dgclworker processes to join over TCP, hands each its
+// share of the cluster, and verifies every process reports bit-identical
+// losses and final weights.
+//
+//	dgcltrain -listen :7000 -workers 2 -dataset Web-Google -gpus 4
+//	dgclworker -connect host:7000        # on each worker machine
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
@@ -21,6 +30,7 @@ import (
 	"dgcl/internal/gnn"
 	"dgcl/internal/graph"
 	"dgcl/internal/simnet"
+	"dgcl/internal/worker"
 )
 
 // chaosOptions bundles the fault-injection / retry flags.
@@ -68,12 +78,59 @@ func main() {
 	flag.IntVar(&rec.keep, "checkpoint-keep", 0, "checkpoint generations to retain (0 = default)")
 	flag.BoolVar(&rec.resume, "resume", false, "resume from the newest intact checkpoint in -checkpoint-dir")
 	flag.StringVar(&rec.crash, "crash", "", "fail-stop schedule dev@epoch[:stage],... (chaos)")
+	listen := flag.String("listen", "", "coordinate a multi-process run: accept dgclworker joins on this address")
+	workers := flag.Int("workers", 2, "worker processes to wait for in -listen mode")
 	flag.Parse()
 
-	if err := run(*dataset, *model, *gpus, *scale, *epochs, *layers, *seed, float32(*lr), *adam, *planner, *cache, *kernelWorkers, chaos, rec); err != nil {
+	var err error
+	if *listen != "" {
+		err = coordinate(*listen, *workers, *dataset, *model, *gpus, *scale, *epochs, *layers, *seed, *lr, chaos, rec)
+	} else {
+		err = run(*dataset, *model, *gpus, *scale, *epochs, *layers, *seed, float32(*lr), *adam, *planner, *cache, *kernelWorkers, chaos, rec)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgcltrain:", err)
 		os.Exit(1)
 	}
+}
+
+// coordinate serves one multi-process training run: the heavy lifting —
+// graph build, planning, training — happens in the dgclworker processes;
+// this side is pure control plane.
+func coordinate(addr string, workers int, dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float64, chaos chaosOptions, rec recoveryOptions) error {
+	if chaos.enabled() || rec.crash != "" || rec.dir != "" {
+		return fmt.Errorf("-listen coordinates real processes; the chaos and checkpoint flags apply to single-process runs only")
+	}
+	ds, err := graph.DatasetByName(dataset)
+	if err != nil {
+		return err
+	}
+	spec := worker.Spec{
+		Dataset: dataset,
+		Scale:   scale,
+		Model:   modelName,
+		Hidden:  ds.HiddenDim,
+		Layers:  layers,
+		GPUs:    gpus,
+		Epochs:  epochs,
+		Seed:    seed,
+		LR:      lr,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coordinating %s/%s over %d GPUs: waiting for %d workers on %s\n",
+		dataset, modelName, gpus, workers, ln.Addr())
+	report, err := worker.RunCoordinator(context.Background(), ln, workers, spec)
+	if err != nil {
+		return err
+	}
+	for e, loss := range report.Losses {
+		fmt.Printf("epoch %d: loss %12.4f\n", e, loss)
+	}
+	fmt.Printf("all %d workers bit-identical; final model digest %#x\n", workers, report.ModelSum)
+	return nil
 }
 
 func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float32, adam bool, planner string, cache bool, kernelWorkers int, chaos chaosOptions, rec recoveryOptions) error {

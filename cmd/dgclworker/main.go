@@ -1,0 +1,45 @@
+// Command dgclworker hosts one process's share of a multi-process training
+// run. It joins the coordinator (a dgcltrain -listen process), receives its
+// node id, client ranks, and the cluster's address table, meshes with the
+// other workers over TCP, trains its ranks, and reports the result back.
+// Every process computes the same losses and final weights bit for bit.
+//
+//	dgcltrain -listen :7000 -workers 2 -dataset Web-Google -gpus 4   # coordinator
+//	dgclworker -connect host:7000                                    # on each machine
+//
+// On a real cluster pass -data host:0 (or host:port) so peers dial a
+// routable address instead of loopback.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dgcl/internal/worker"
+)
+
+func main() {
+	connect := flag.String("connect", "", "coordinator address (host:port), required")
+	data := flag.String("data", "127.0.0.1:0", "bind/advertise address for the peer data listener")
+	timeout := flag.Duration("timeout", 15*time.Minute, "overall deadline for the run")
+	flag.Parse()
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "dgclworker: -connect is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	report, err := worker.RunWorker(ctx, *connect, *data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgclworker:", err)
+		os.Exit(1)
+	}
+	for e, loss := range report.Losses {
+		fmt.Printf("epoch %d: loss %.6f\n", e, loss)
+	}
+	fmt.Printf("final model digest %#x\n", report.ModelSum)
+}

@@ -83,6 +83,12 @@ type (
 	DeviceDownError = runtime.DeviceDownError
 	// Optimizer applies accumulated gradients to model parameters.
 	Optimizer = gnn.Optimizer
+	// TransportProvider supplies the base transport per collective (the
+	// seam the wire transport plugs into; see RunOptions.Transport).
+	TransportProvider = runtime.TransportProvider
+	// PeerExchange synchronizes losses and gradients across the processes
+	// of a multi-process run (see System.SetWorkerMode).
+	PeerExchange = runtime.PeerExchange
 )
 
 // ErrDeviceDown matches (via errors.Is) any failure caused by a fail-stop
@@ -248,6 +254,11 @@ type System struct {
 	autoClassify bool
 	crash        *runtime.CrashTracker
 	health       *runtime.HealthTracker
+
+	// Worker-mode state (see SetWorkerMode): the client ranks this process
+	// executes and the peer exchanger that synchronizes the rest.
+	ranks []int
+	peers PeerExchange
 }
 
 // curTopo returns the fabric the current cluster runs on (degraded after
@@ -403,6 +414,12 @@ type RunOptions struct {
 	// consecutive deadline-class failures blamed on one device convert into
 	// a down verdict (0 leaves detection to Train's default).
 	DownAfter int
+	// Transport, when non-nil, supplies the base transport for every
+	// collective instead of the in-memory channels — the seam the wire
+	// transport (internal/comm/wire) plugs into. Providers route by
+	// external device id, so they survive degraded rebuilds. Fault, crash,
+	// and retry decorators stack on top unchanged.
+	Transport runtime.TransportProvider
 }
 
 // SetRunOptions installs transport options on the initialized system. When
@@ -453,6 +470,7 @@ func (s *System) applyRunOptions() {
 		s.clu.Timeout = opts.Timeout
 		s.clu.Faults = opts.Faults
 		s.clu.Retry = opts.Retry
+		s.clu.Provider = opts.Transport
 		if (opts.CollectStats || opts.Retry != nil || opts.Faults != nil) && s.clu.Stats == nil {
 			s.clu.Stats = runtime.NewCommStats(s.rel.K)
 		}
@@ -460,6 +478,30 @@ func (s *System) applyRunOptions() {
 	s.clu.Crash = s.crash
 	s.clu.Health = s.health
 	s.clu.DeviceIDs = append([]int(nil), s.alive...)
+	s.clu.Ranks = s.ranks
+}
+
+// SetWorkerMode restricts collective execution to the given client ranks and
+// installs the peer exchanger that synchronizes losses and gradients with
+// the other processes of a multi-process run (see cmd/dgclworker). Every
+// process keeps all K model replicas and steps them identically, so final
+// weights are bit-identical to an in-process run with the same seed. Call
+// after BuildCommInfo (and SetRunOptions with the wire provider). Worker
+// mode is incompatible with Degrade-based recovery: a worker run that loses
+// a process fails and is restarted whole.
+func (s *System) SetWorkerMode(ranks []int, peers PeerExchange) error {
+	if err := s.ready(); err != nil {
+		return err
+	}
+	for _, r := range ranks {
+		if r < 0 || r >= s.rel.K {
+			return fmt.Errorf("dgcl: worker rank %d outside [0,%d)", r, s.rel.K)
+		}
+	}
+	s.ranks = append([]int(nil), ranks...)
+	s.peers = peers
+	s.clu.Ranks = s.ranks
+	return nil
 }
 
 // ensureResilience installs the crash tracker and health tracker (detection
@@ -549,6 +591,7 @@ func (s *System) NewTrainer(model *Model, features, targets *Matrix) (*Trainer, 
 		return nil, err
 	}
 	tr.CacheFeatures = s.opts.CacheFeatures
+	tr.Peers = s.peers
 	return tr, nil
 }
 

@@ -1,0 +1,202 @@
+package dgcl
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"dgcl/internal/comm/wire"
+	"dgcl/internal/testutil"
+)
+
+// The resilience battery over real sockets: the chaos/crash scenarios of
+// dgcl_resilience_test.go rerun with the loopback TCP fabric installed as
+// the base transport. The acceptance bar is behavioral identity — the same
+// recovery structure, and losses and final weights bit-identical to the
+// channel-transport runs — plus the one failure mode only sockets have:
+// a peer's connections dying mid-collective must surface as DeviceDownError
+// and drive the same degrade-and-continue recovery.
+
+// wireFixture is resilientFixture plus a loopback TCP fabric installed as
+// the system's base transport.
+func wireFixture(t *testing.T, seed int64) (*System, *wire.Fabric, *Model, *Matrix, *Matrix) {
+	t.Helper()
+	sys, _, model, features, targets := resilientFixture(t, seed)
+	fab, err := wire.NewLoopbackFabric(4, wire.Config{
+		ClusterID: "dgcl-resilience",
+		PlanSum:   wire.PlanDigest(sys.Plan()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fab.Close)
+	if err := sys.SetRunOptions(RunOptions{Transport: fab}); err != nil {
+		t.Fatal(err)
+	}
+	return sys, fab, model, features, targets
+}
+
+// TestWireChaosCrashRecoveryBitIdenticalToChan: a scheduled fail-stop crash
+// with durable checkpoints must recover identically whether the embeddings
+// cross in-memory channels or TCP sockets — same recovery event, bit-equal
+// per-epoch losses, bit-identical final weights.
+func TestWireChaosCrashRecoveryBitIdenticalToChan(t *testing.T) {
+	const epochs = 6
+	crash := func() *CrashConfig {
+		return &CrashConfig{Events: []CrashEvent{{Device: 1, Epoch: 2, Stage: 0}}}
+	}
+
+	// Fault-free baseline for the loss band.
+	sysA, _, modelA, featA, targA := resilientFixture(t, 11)
+	base, err := sysA.Train(context.Background(), modelA, featA, targA, trainOpts(epochs, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The crashed run over channels: the reference recovery.
+	sysB, _, modelB, featB, targB := resilientFixture(t, 11)
+	if err := sysB.SetRunOptions(RunOptions{Crash: crash()}); err != nil {
+		t.Fatal(err)
+	}
+	chanRes, err := sysB.Train(context.Background(), modelB, featB, targB, trainOpts(epochs, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same crashed run over loopback TCP.
+	before := testutil.Goroutines()
+	sysC, fab, modelC, featC, targC := wireFixture(t, 11)
+	if err := sysC.SetRunOptions(RunOptions{Transport: fab, Crash: crash()}); err != nil {
+		t.Fatal(err)
+	}
+	wireRes, err := sysC.Train(context.Background(), modelC, featC, targC, trainOpts(epochs, t.TempDir()))
+	if err != nil {
+		t.Fatalf("crashed wire run did not recover: %v", err)
+	}
+
+	if len(wireRes.Recoveries) != 1 {
+		t.Fatalf("wire recoveries = %+v, want exactly one", wireRes.Recoveries)
+	}
+	if !reflect.DeepEqual(wireRes.Recoveries, chanRes.Recoveries) {
+		t.Fatalf("recovery events differ:\nwire: %+v\nchan: %+v", wireRes.Recoveries, chanRes.Recoveries)
+	}
+	for e := range chanRes.Losses {
+		if wireRes.Losses[e] != chanRes.Losses[e] {
+			t.Fatalf("epoch %d loss differs over the wire: %v vs %v", e, wireRes.Losses[e], chanRes.Losses[e])
+		}
+	}
+	finalWeightsBitIdentical(t, chanRes.Model, wireRes.Model, "wire crash recovery")
+
+	// And the recovered run still lands in the fault-free band.
+	got, want := wireRes.Losses[epochs-1], base.Losses[epochs-1]
+	if math.IsNaN(got) || math.Abs(got-want)/math.Abs(want) > 0.02 {
+		t.Fatalf("final wire loss %v outside the fault-free band around %v", got, want)
+	}
+
+	fab.Close()
+	if !testutil.GoroutinesSettleTo(before, 2*time.Second) {
+		t.Fatalf("goroutines leaked across wire crash recovery: %d before, %d after", before, testutil.Goroutines())
+	}
+}
+
+// TestWireResumeBitIdenticalToChan: kill the process after 3 epochs of a
+// wire run, resume from the durable checkpoint in a fresh process with a
+// fresh fabric, and the completed run must match an uninterrupted
+// channel-transport run bit for bit.
+func TestWireResumeBitIdenticalToChan(t *testing.T) {
+	const (
+		epochs   = 5
+		killedAt = 3
+		seed     = 17
+	)
+	sysA, _, modelA, featA, targA := resilientFixture(t, seed)
+	full, err := sysA.Train(context.Background(), modelA, featA, targA, trainOpts(epochs, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	sysB, _, modelB, featB, targB := wireFixture(t, seed)
+	if _, err := sysB.Train(context.Background(), modelB, featB, targB, trainOpts(killedAt, dir)); err != nil {
+		t.Fatalf("pre-kill wire run: %v", err)
+	}
+	sysC, _, modelC, featC, targC := wireFixture(t, seed)
+	opts := trainOpts(epochs, dir)
+	opts.Resume = true
+	resumed, err := sysC.Train(context.Background(), modelC, featC, targC, opts)
+	if err != nil {
+		t.Fatalf("wire resume: %v", err)
+	}
+	if resumed.StartEpoch != killedAt {
+		t.Fatalf("wire run resumed at epoch %d, want %d", resumed.StartEpoch, killedAt)
+	}
+	for e := killedAt; e < epochs; e++ {
+		if resumed.Losses[e] != full.Losses[e] {
+			t.Fatalf("epoch %d loss diverged after wire resume: %v vs %v", e, resumed.Losses[e], full.Losses[e])
+		}
+	}
+	finalWeightsBitIdentical(t, full.Model, resumed.Model, "wire resume")
+}
+
+// TestWireNodeKillMidTrainingRecovers is the socket-only failure mode: an
+// unscheduled kill of one node's real connections mid-training. The peers'
+// reads fail, the transport maps the dead links to DeviceDownError, the
+// failure detector convicts the device, and the resilient loop degrades
+// onto the survivors — whose fabric connections keep working — and finishes
+// inside the fault-free loss band.
+func TestWireNodeKillMidTrainingRecovers(t *testing.T) {
+	const epochs = 6
+
+	sysA, _, modelA, featA, targA := resilientFixture(t, 11)
+	base, err := sysA.Train(context.Background(), modelA, featA, targA, trainOpts(epochs, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := testutil.Goroutines()
+	sysB, fab, modelB, featB, targB := wireFixture(t, 11)
+	opts := trainOpts(epochs, t.TempDir())
+	killed := false
+	opts.OnEpoch = func(e int, loss float64) {
+		// After epoch 1 completes, node 1's sockets die for real: epoch 2's
+		// collectives find the connections gone mid-flight.
+		if e == 1 && !killed {
+			killed = true
+			fab.Kill(1)
+		}
+	}
+	res, err := sysB.Train(context.Background(), modelB, featB, targB, opts)
+	if err != nil {
+		t.Fatalf("training did not survive the node kill: %v", err)
+	}
+	if len(res.Recoveries) != 1 {
+		t.Fatalf("recoveries = %+v, want exactly one", res.Recoveries)
+	}
+	ev := res.Recoveries[0]
+	if !reflect.DeepEqual(ev.Down, []int{1}) {
+		t.Fatalf("recovery removed %v, want [1]", ev.Down)
+	}
+	if !reflect.DeepEqual(ev.Survivors, []int{0, 2, 3}) {
+		t.Fatalf("survivors = %v, want [0 2 3]", ev.Survivors)
+	}
+	if ev.FailedEpoch != 2 {
+		t.Fatalf("failure detected at epoch %d, want 2", ev.FailedEpoch)
+	}
+	if !reflect.DeepEqual(sysB.AliveDevices(), []int{0, 2, 3}) {
+		t.Fatalf("alive devices after recovery = %v, want [0 2 3]", sysB.AliveDevices())
+	}
+	got, want := res.Losses[epochs-1], base.Losses[epochs-1]
+	if math.IsNaN(got) || math.Abs(got-want)/math.Abs(want) > 0.02 {
+		t.Fatalf("final loss %v outside the fault-free band around %v", got, want)
+	}
+	if res.Losses[epochs-1] >= res.Losses[0] {
+		t.Fatalf("no convergence after recovery: %v -> %v", res.Losses[0], res.Losses[epochs-1])
+	}
+
+	fab.Close()
+	if !testutil.GoroutinesSettleTo(before, 2*time.Second) {
+		t.Fatalf("goroutines leaked across node-kill recovery: %d before, %d after", before, testutil.Goroutines())
+	}
+}

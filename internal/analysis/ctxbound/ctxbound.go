@@ -18,6 +18,17 @@
 //     variant, the variant must be used — calling the Background-context
 //     convenience wrapper silently unbinds the operation from the caller's
 //     deadline.
+//
+// The wire transport (PR 6) extends the contract to real sockets, where the
+// unbounded operations are dials and deadline-less reads/writes:
+//
+//   - C5: net.Dial / net.DialTimeout cannot observe cancellation; dial
+//     through a net.Dialer's DialContext.
+//   - C6: a function that reads or writes a net.Conn (directly or via
+//     io.ReadFull) must arm a Set*Deadline in the same function — a
+//     deadline-less socket op blocks until the peer acts, which may be
+//     never. Helpers whose callers arm the deadline carry a
+//     //dgclvet:ignore with the justification.
 package ctxbound
 
 import (
@@ -31,15 +42,26 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxbound",
 	Doc: "flags transport/collective code that can block without observing " +
-		"cancellation: bare channel ops, time.Sleep, and calls that drop an in-scope context",
+		"cancellation: bare channel ops, time.Sleep, calls that drop an in-scope " +
+		"context, unbounded dials, and deadline-less socket reads/writes",
 	AppliesTo: func(pkgPath string) bool {
-		return pkgPath == "dgcl/internal/runtime" || pkgPath == "dgcl/internal/collective"
+		switch pkgPath {
+		case "dgcl/internal/runtime", "dgcl/internal/collective",
+			"dgcl/internal/comm/wire", "dgcl/internal/worker":
+			return true
+		}
+		return false
 	},
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				checkConnDeadlines(pass, fd)
+			}
+		}
 		analysis.InspectStack(f, func(n ast.Node, stack []ast.Node) bool {
 			switch x := n.(type) {
 			case *ast.SendStmt:
@@ -68,6 +90,15 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
 		pass.Reportf(call.Pos(),
 			"time.Sleep cannot observe cancellation; select on time.After and ctx.Done()")
 		return
+	}
+	// C5: the package-level dial entry points have no cancellation hook.
+	for _, name := range []string{"Dial", "DialTimeout"} {
+		if analysis.IsPkgCall(pass, call, "net", name) {
+			pass.Reportf(call.Pos(),
+				"net.%s cannot observe cancellation; dial through a net.Dialer's "+
+					"DialContext so connecting stays bounded by the caller's deadline", name)
+			return
+		}
 	}
 	// C4: prefer the ...Context variant when a context is in scope.
 	if !ctxInScope(pass, stack) || passesContext(pass, call) {
@@ -115,6 +146,75 @@ func passesContext(pass *analysis.Pass, call *ast.CallExpr) bool {
 		}
 	}
 	return false
+}
+
+// checkConnDeadlines enforces C6 on one function: every net.Conn Read/Write
+// (including io.ReadFull/io.ReadAtLeast over a conn) must be covered by a
+// Set*Deadline call in the same function. The granularity is deliberate —
+// one armed deadline bounds every subsequent op on that conn, so the rule
+// only demands that the function arming responsibility is local (or
+// explicitly waived with a justified //dgclvet:ignore on helpers whose
+// callers arm it).
+func checkConnDeadlines(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	var connOps []*ast.CallExpr
+	var opNames []string
+	armed := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+				armed = true
+			case "Read", "Write":
+				if isConnType(pass.TypeOf(sel.X)) {
+					connOps = append(connOps, call)
+					opNames = append(opNames, "conn."+sel.Sel.Name)
+				}
+			}
+		}
+		for _, name := range []string{"ReadFull", "ReadAtLeast"} {
+			if analysis.IsPkgCall(pass, call, "io", name) && len(call.Args) > 0 &&
+				isConnType(pass.TypeOf(call.Args[0])) {
+				connOps = append(connOps, call)
+				opNames = append(opNames, "io."+name+" over a conn")
+			}
+		}
+		return true
+	})
+	if armed {
+		return
+	}
+	for i, call := range connOps {
+		pass.Reportf(call.Pos(),
+			"%s without a deadline armed in this function can block until the peer "+
+				"acts; call Set*Deadline first (or justify with //dgclvet:ignore when "+
+				"every caller arms it)", opNames[i])
+	}
+}
+
+// isConnType reports whether t is a deadline-capable connection: its method
+// set has SetReadDeadline(time.Time) — true for net.Conn, every concrete
+// net connection, and test doubles, and false for plain io.Readers/Writers.
+func isConnType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "SetReadDeadline")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return false
+	}
+	return analysis.IsNamedType(sig.Params().At(0).Type(), "time", "Time")
 }
 
 // contextVariant returns the callee's display name and whether a sibling

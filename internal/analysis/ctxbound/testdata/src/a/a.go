@@ -2,7 +2,10 @@
 package a
 
 import (
+	"bytes"
 	"context"
+	"io"
+	"net"
 	"time"
 )
 
@@ -117,4 +120,61 @@ func closureCapture(ctx context.Context, c *conn) func() error {
 	return func() error {
 		return c.Ping() // want "call to Ping ignores the in-scope context"
 	}
+}
+
+// unboundedDials use the package-level dial entry points, which have no
+// cancellation hook (C5).
+func unboundedDials() (net.Conn, error) {
+	if c, err := net.Dial("tcp", "example:1"); err == nil { // want "net.Dial cannot observe cancellation"
+		return c, nil
+	}
+	return net.DialTimeout("tcp", "example:1", time.Second) // want "net.DialTimeout cannot observe cancellation"
+}
+
+// boundedDial is the sanctioned pattern: a Dialer's DialContext.
+func boundedDial(ctx context.Context) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", "example:1")
+}
+
+// nakedConnRead reads a socket with no deadline armed anywhere in the
+// function (C6): it blocks until the peer talks, which may be never.
+func nakedConnRead(conn net.Conn, p []byte) (int, error) {
+	return conn.Read(p) // want "conn.Read without a deadline armed in this function"
+}
+
+// nakedConnWrite likewise for the write side.
+func nakedConnWrite(conn net.Conn, p []byte) (int, error) {
+	return conn.Write(p) // want "conn.Write without a deadline armed in this function"
+}
+
+// nakedReadFull: io.ReadFull over a conn is the same blocking read.
+func nakedReadFull(conn net.Conn, p []byte) error {
+	_, err := io.ReadFull(conn, p) // want "io.ReadFull over a conn without a deadline armed in this function"
+	return err
+}
+
+// armedConnOps arm a deadline before the ops; nothing fires.
+func armedConnOps(conn net.Conn, p []byte) error {
+	if err := conn.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	if _, err := conn.Write(p); err != nil {
+		return err
+	}
+	_, err := io.ReadFull(conn, p)
+	return err
+}
+
+// armedReadDeadline: any Set*Deadline variant counts.
+func armedReadDeadline(conn net.Conn, p []byte) (int, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return conn.Read(p)
+}
+
+// bufferRead is not a socket: Read on deadline-less types stays legal.
+func bufferRead(b *bytes.Buffer, p []byte) (int, error) {
+	return b.Read(p)
 }

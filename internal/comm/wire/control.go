@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Control-plane helpers for the coordinator protocol (cmd/dgcltrain -listen
+// and cmd/dgclworker): length-prefixed JSON messages over a net.Conn, with
+// armed deadlines and the same cap-before-materialize discipline as data
+// frames. Kept in this package so every blocking socket operation lives
+// under the ctxbound analyzer's wire coverage.
+
+// maxControlLen caps a control message before allocation.
+const maxControlLen = 1 << 20
+
+// WriteControl sends one length-prefixed JSON message under an armed write
+// deadline.
+func WriteControl(conn net.Conn, v any, timeout time.Duration) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: control encode: %w", err)
+	}
+	if len(body) > maxControlLen {
+		return fmt.Errorf("wire: control message %d bytes exceeds cap %d", len(body), maxControlLen)
+	}
+	buf := make([]byte, 4, 4+len(body))
+	binary.LittleEndian.PutUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("wire: control write: %w", err)
+	}
+	return nil
+}
+
+// ReadControl reads one length-prefixed JSON message into v under an armed
+// read deadline.
+func ReadControl(conn net.Conn, v any, timeout time.Duration) error {
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	if err := connReadFull(conn, hdr[:]); err != nil {
+		return fmt.Errorf("wire: control read: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[:])
+	if length > maxControlLen {
+		return fmt.Errorf("wire: control message %d bytes exceeds cap %d", length, maxControlLen)
+	}
+	body := make([]byte, length)
+	if err := connReadFull(conn, body); err != nil {
+		return fmt.Errorf("wire: control read: %w", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("wire: control decode: %w", err)
+	}
+	return nil
+}

@@ -38,6 +38,16 @@ type Cluster struct {
 	Stats *CommStats
 	// Transport overrides the base transport (default: in-memory channels).
 	Transport TransportFactory
+	// Provider, when non-nil, supplies the base transport instead (it wins
+	// over Transport). Providers keep long-lived state across collectives
+	// (pooled sockets) and route by external device id, so they survive
+	// Degrade rebuilds.
+	Provider TransportProvider
+	// Ranks, when non-nil, restricts execution to those client indices: in a
+	// multi-process run each process hosts a subset of the clients and the
+	// wire transport carries the cross-process transfers. Nil means all K
+	// clients run locally.
+	Ranks []int
 	// Faults, when non-nil, wraps the base transport with seeded fault
 	// injection. Pair it with Retry so injected failures are retried.
 	Faults *FaultConfig
@@ -75,6 +85,33 @@ type Cluster struct {
 	pool bufPool
 }
 
+// ActiveRanks returns the client indices this cluster executes locally: all
+// K unless a worker-mode subset is installed via Ranks. Callers must not
+// mutate the result.
+func (c *Cluster) ActiveRanks() []int {
+	if c.Ranks != nil {
+		return c.Ranks
+	}
+	all := make([]int, c.K)
+	for d := range all {
+		all[d] = d
+	}
+	return all
+}
+
+// eachActive runs fn for every locally-executed client index.
+func (c *Cluster) eachActive(fn func(d int)) {
+	if c.Ranks == nil {
+		for d := 0; d < c.K; d++ {
+			fn(d)
+		}
+		return
+	}
+	for _, d := range c.Ranks {
+		fn(d)
+	}
+}
+
 // DeviceID returns the external id of client index d (identity when no
 // mapping is installed).
 func (c *Cluster) DeviceID(d int) int {
@@ -101,11 +138,14 @@ func NewCluster(rel *comm.Relation, locals []*comm.LocalGraph, plan *core.Plan) 
 // straight through to the client, and above faults so dead links stop
 // rolling message faults.
 func (c *Cluster) newTransport(stages [][]core.Transfer, relayAware bool) Transport {
-	base := c.Transport
-	if base == nil {
-		base = NewChanTransport
+	var t Transport
+	if c.Provider != nil {
+		t = c.Provider.CollectiveTransport(stages, c.DeviceIDs)
+	} else if c.Transport != nil {
+		t = c.Transport(stages)
+	} else {
+		t = NewChanTransport(stages)
 	}
-	t := base(stages)
 	if c.Faults != nil {
 		t = NewFaultTransport(t, *c.Faults)
 	}
@@ -229,17 +269,18 @@ func (c *Cluster) AllgatherContext(ctx context.Context, local []*tensor.Matrix) 
 	ctx, cancel := c.collectiveContext(ctx)
 	defer cancel()
 	tp, release := c.acquireTransport(prog, true)
+	copies := transportCopies(tp)
 	full := make([]*tensor.Matrix, c.K)
 	var wg sync.WaitGroup
 	errs := make([]error, c.K)
-	for d := 0; d < c.K; d++ {
+	c.eachActive(func(d int) {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			full[d], errs[d] = c.runForwardClient(ctx, d, local[d], cols, tp, &prog.clients[d])
+			full[d], errs[d] = c.runForwardClient(ctx, d, local[d], cols, tp, &prog.clients[d], copies)
 			abortOnDeviceDown(errs[d], cancel)
 		}(d)
-	}
+	})
 	wg.Wait()
 	release(anyError(errs))
 	if err := c.finishCollective("graphAllgather", errs); err != nil {
@@ -257,26 +298,38 @@ func anyError(errs []error) bool {
 	return false
 }
 
-// validateInputs checks one matrix per GPU, all non-nil with a consistent
-// column count; forward inputs must also match the owned-row counts (the
-// backward client checks its own local-graph row count).
+// validateInputs checks one matrix per locally-executed GPU, all non-nil
+// with a consistent column count; forward inputs must also match the
+// owned-row counts (the backward client checks its own local-graph row
+// count). In worker mode the entries of inactive ranks are ignored (they may
+// be nil — those clients run in another process).
 func (c *Cluster) validateInputs(in []*tensor.Matrix, backward bool) (int, error) {
 	if len(in) != c.K {
 		return 0, fmt.Errorf("runtime: %d inputs for %d GPUs", len(in), c.K)
 	}
 	cols := -1
-	for d, m := range in {
+	var verr error
+	c.eachActive(func(d int) {
+		if verr != nil {
+			return
+		}
+		m := in[d]
 		if m == nil {
-			return 0, fmt.Errorf("runtime: GPU %d input is nil", d)
+			verr = fmt.Errorf("runtime: GPU %d input is nil", d)
+			return
 		}
 		if !backward && m.Rows != len(c.Rel.Local[d]) {
-			return 0, fmt.Errorf("runtime: GPU %d input has %d rows, owns %d vertices", d, m.Rows, len(c.Rel.Local[d]))
+			verr = fmt.Errorf("runtime: GPU %d input has %d rows, owns %d vertices", d, m.Rows, len(c.Rel.Local[d]))
+			return
 		}
 		if cols == -1 {
 			cols = m.Cols
 		} else if m.Cols != cols {
-			return 0, fmt.Errorf("runtime: inconsistent feature dims (%d vs %d)", m.Cols, cols)
+			verr = fmt.Errorf("runtime: inconsistent feature dims (%d vs %d)", m.Cols, cols)
 		}
+	})
+	if verr != nil {
+		return 0, verr
 	}
 	return cols, nil
 }
@@ -287,7 +340,7 @@ func (c *Cluster) validateInputs(in []*tensor.Matrix, backward bool) (int, error
 // offset, and relay-only rows live in a pooled arena. Send buffers come
 // from the pool and are returned by the *receiving* client once consumed
 // (Cluster.recycle), so steady-state epochs allocate no payload memory.
-func (c *Cluster) runForwardClient(ctx context.Context, d int, local *tensor.Matrix, cols int, tp Transport, cp *clientProgram) (*tensor.Matrix, error) {
+func (c *Cluster) runForwardClient(ctx context.Context, d int, local *tensor.Matrix, cols int, tp Transport, cp *clientProgram, copies bool) (*tensor.Matrix, error) {
 	lg := c.Locals[d]
 	full := tensor.New(lg.NumLocal+lg.NumRemote, cols)
 	copy(full.Data[:lg.NumLocal*cols], local.Data)
@@ -309,6 +362,11 @@ func (c *Cluster) runForwardClient(ctx context.Context, d int, local *tensor.Mat
 			if err := tp.Send(ctx, snd.key, snd.tr, c.seal(Message{Rows: buf})); err != nil {
 				return nil, fmt.Errorf("runtime: GPU %d send: %w", d, err)
 			}
+			if copies {
+				// A copying transport serialized the payload before Send
+				// returned; the buffer is ours again.
+				c.pool.put(buf)
+			}
 		}
 		// Receive phase: wait for each peer's done flag and retrieve.
 		for _, rcv := range cs.recvs {
@@ -319,7 +377,7 @@ func (c *Cluster) runForwardClient(ctx context.Context, d int, local *tensor.Mat
 			for i, s := range rcv.slots {
 				copy(rowOf(s), msg.Rows.Row(i))
 			}
-			c.recycle(msg)
+			c.recycle(tp, msg)
 		}
 	}
 	return full, nil
@@ -340,11 +398,15 @@ func (c *Cluster) BackwardAllgatherContext(ctx context.Context, gradFull []*tens
 	if err != nil {
 		return nil, err
 	}
-	for d, m := range gradFull {
+	var shapeErr error
+	c.eachActive(func(d int) {
 		lg := c.Locals[d]
-		if m.Rows != lg.NumLocal+lg.NumRemote {
-			return nil, fmt.Errorf("runtime: GPU %d gradient has %d rows, local graph has %d", d, m.Rows, lg.NumLocal+lg.NumRemote)
+		if m := gradFull[d]; shapeErr == nil && m.Rows != lg.NumLocal+lg.NumRemote {
+			shapeErr = fmt.Errorf("runtime: GPU %d gradient has %d rows, local graph has %d", d, m.Rows, lg.NumLocal+lg.NumRemote)
 		}
+	})
+	if shapeErr != nil {
+		return nil, shapeErr
 	}
 	prog, err := c.backwardProgram()
 	if err != nil {
@@ -353,17 +415,18 @@ func (c *Cluster) BackwardAllgatherContext(ctx context.Context, gradFull []*tens
 	ctx, cancel := c.collectiveContext(ctx)
 	defer cancel()
 	tp, release := c.acquireTransport(prog, false)
+	copies := transportCopies(tp)
 	out := make([]*tensor.Matrix, c.K)
 	errs := make([]error, c.K)
 	var wg sync.WaitGroup
-	for d := 0; d < c.K; d++ {
+	c.eachActive(func(d int) {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			out[d], errs[d] = c.runBackwardClient(ctx, d, gradFull[d], cols, tp, &prog.clients[d])
+			out[d], errs[d] = c.runBackwardClient(ctx, d, gradFull[d], cols, tp, &prog.clients[d], copies)
 			abortOnDeviceDown(errs[d], cancel)
 		}(d)
-	}
+	})
 	wg.Wait()
 	release(anyError(errs))
 	if err := c.finishCollective("backward graphAllgather", errs); err != nil {
@@ -380,7 +443,7 @@ func (c *Cluster) BackwardAllgatherContext(ctx context.Context, gradFull []*tens
 // (zeroed explicitly: pooled memory is dirty). Receives accumulate row i of
 // the payload into its precomputed slot in the exact legacy iteration order,
 // so results are bit-identical to the map-based path.
-func (c *Cluster) runBackwardClient(ctx context.Context, d int, gradFull *tensor.Matrix, cols int, tp Transport, cp *clientProgram) (*tensor.Matrix, error) {
+func (c *Cluster) runBackwardClient(ctx context.Context, d int, gradFull *tensor.Matrix, cols int, tp Transport, cp *clientProgram, copies bool) (*tensor.Matrix, error) {
 	lg := c.Locals[d]
 	own := tensor.New(lg.NumLocal, cols)
 	copy(own.Data, gradFull.Data[:lg.NumLocal*cols])
@@ -408,6 +471,9 @@ func (c *Cluster) runBackwardClient(ctx context.Context, d int, gradFull *tensor
 			if err := tp.Send(ctx, snd.key, snd.tr, c.seal(Message{Rows: buf})); err != nil {
 				return nil, fmt.Errorf("runtime: GPU %d send: %w", d, err)
 			}
+			if copies {
+				c.pool.put(buf)
+			}
 		}
 		for _, rcv := range cs.recvs {
 			msg, err := tp.Recv(ctx, rcv.key, rcv.tr)
@@ -421,7 +487,7 @@ func (c *Cluster) runBackwardClient(ctx context.Context, d int, gradFull *tensor
 					dst[j] += x
 				}
 			}
-			c.recycle(msg)
+			c.recycle(tp, msg)
 		}
 	}
 	return own, nil

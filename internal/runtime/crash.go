@@ -244,6 +244,9 @@ func NewCrashTransport(inner Transport, tracker *CrashTracker, ids []int) Transp
 	return &crashTransport{inner: inner, tracker: tracker, ids: ids}
 }
 
+// Unwrap exposes the decorated transport (see WrappingTransport).
+func (t *crashTransport) Unwrap() Transport { return t.inner }
+
 func (t *crashTransport) dev(i int) int {
 	if t.ids == nil {
 		return i

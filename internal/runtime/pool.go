@@ -53,6 +53,19 @@ func (p *bufPool) get(rows, cols int) *tensor.Matrix {
 	return tensor.FromData(rows, cols, make([]float32, n, 1<<cl)[:n])
 }
 
+// MatrixPool is the exported face of the size-classed free list, for
+// transports that manage their own receive/serialization buffers (the wire
+// transport decodes frames into pooled matrices and takes them back through
+// Cluster.recycle). Like bufPool it is deliberately not a sync.Pool, so
+// AllocsPerRun regression tests over the wire path stay deterministic.
+type MatrixPool struct{ p bufPool }
+
+// Get returns a rows×cols matrix backed by pooled (dirty) memory.
+func (mp *MatrixPool) Get(rows, cols int) *tensor.Matrix { return mp.p.get(rows, cols) }
+
+// Put returns a matrix to the pool.
+func (mp *MatrixPool) Put(m *tensor.Matrix) { mp.p.put(m) }
+
 // put returns a matrix to the pool. Zero-capacity and non-pool-shaped
 // buffers are dropped.
 func (p *bufPool) put(m *tensor.Matrix) {

@@ -288,7 +288,7 @@ func (tc *transportCache) release(b Transport, failed bool) {
 // program's cached channel transport, re-wrapping only the cheap stats
 // accounting layer.
 func (c *Cluster) acquireTransport(prog *routingProgram, relayAware bool) (Transport, func(failed bool)) {
-	if c.Transport != nil || c.Faults != nil || c.Crash != nil || c.Retry != nil {
+	if c.Transport != nil || c.Provider != nil || c.Faults != nil || c.Crash != nil || c.Retry != nil {
 		return c.newTransport(prog.stages, relayAware), func(bool) {}
 	}
 	base := prog.tc.acquire(prog.stages)
@@ -311,14 +311,23 @@ func (c *Cluster) seal(rows Message) Message {
 	return rows
 }
 
-// recycle returns a consumed receive buffer to the cluster pool. Only the
-// built-in transport stack is eligible: after a successful Recv the per-key
+// recycle returns a consumed receive buffer to its pool. On the built-in
+// stack that is the cluster pool: after a successful Recv the per-key
 // channel is never read again, faults corrupt copies rather than originals,
 // and retransmissions re-deliver the same buffer at most once — so the
-// consumer owns the payload outright. A custom Transport may retain or
-// replay messages, so its payloads are never pooled.
-func (c *Cluster) recycle(msg Message) {
-	if c.Transport == nil && msg.Rows != nil {
+// consumer owns the payload outright. A transport chain exposing a
+// MessageRecycler (the wire transport pools its decode buffers) takes the
+// payload back itself. Any other custom Transport may retain or replay
+// messages, so its payloads are never pooled.
+func (c *Cluster) recycle(tp Transport, msg Message) {
+	if msg.Rows == nil {
+		return
+	}
+	if c.Transport == nil && c.Provider == nil {
 		c.pool.put(msg.Rows)
+		return
+	}
+	if r := transportRecycler(tp); r != nil {
+		r.RecycleMessage(msg)
 	}
 }

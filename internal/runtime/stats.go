@@ -179,6 +179,16 @@ func newStatsTransport(inner Transport, stats *CommStats, owner []int32, relayAw
 	return &statsTransport{inner: inner, stats: stats, owner: owner, relayAware: relayAware}
 }
 
+// NewStatsTransport wraps inner with per-GPU transfer accounting. Exported
+// for the transport conformance battery; production composition happens in
+// Cluster.newTransport.
+func NewStatsTransport(inner Transport, stats *CommStats, owner []int32, relayAware bool) Transport {
+	return newStatsTransport(inner, stats, owner, relayAware)
+}
+
+// Unwrap exposes the decorated transport (see WrappingTransport).
+func (t *statsTransport) Unwrap() Transport { return t.inner }
+
 func (t *statsTransport) Send(ctx context.Context, key TransferKey, tr core.Transfer, msg Message) error {
 	// Size the payload before handing it to the inner transport: once Send
 	// returns, the receiver may already have consumed the message and

@@ -28,7 +28,13 @@ type Trainer struct {
 	// once and cached, eliminating the first (widest) allgather of every
 	// epoch at the price of storing the remote features.
 	CacheFeatures bool
-	cachedLayer0  []*tensor.Matrix
+	// Peers, when non-nil, synchronizes losses and gradients with the other
+	// processes of a multi-process run (worker mode: Cluster.Ranks names the
+	// locally-executed clients). Every process keeps all K model replicas
+	// and steps them identically, so the final weights are bit-identical to
+	// an in-process run with the same seed.
+	Peers        PeerExchange
+	cachedLayer0 []*tensor.Matrix
 }
 
 // NewTrainer shards the global features/targets across the cluster's
@@ -97,6 +103,7 @@ func (tr *Trainer) ZeroGrads() {
 func (tr *Trainer) EpochContext(ctx context.Context) (float64, error) {
 	c := tr.Cluster
 	numLayers := len(tr.Models[0].Layers)
+	active := c.ActiveRanks()
 	// Forward: per layer, allgather then concurrent local layer compute.
 	h := tr.Features
 	for l := 0; l < numLayers; l++ {
@@ -112,7 +119,7 @@ func (tr *Trainer) EpochContext(ctx context.Context) (float64, error) {
 		}
 		next := make([]*tensor.Matrix, c.K)
 		var wg sync.WaitGroup
-		for d := 0; d < c.K; d++ {
+		for _, d := range active {
 			wg.Add(1)
 			go func(d int) {
 				defer wg.Done()
@@ -122,11 +129,17 @@ func (tr *Trainer) EpochContext(ctx context.Context) (float64, error) {
 		wg.Wait()
 		h = next
 	}
-	// Loss on local outputs.
+	// Loss on local outputs; worker mode fills in the other processes' rank
+	// losses so the global loss stays a bit-identical rank-ordered sum.
 	losses := make([]float64, c.K)
 	grads := make([]*tensor.Matrix, c.K)
-	for d := 0; d < c.K; d++ {
+	for _, d := range active {
 		losses[d], grads[d] = gnn.MSELossGrad(h[d], tr.Targets[d])
+	}
+	if tr.Peers != nil {
+		if err := tr.Peers.ExchangeFloat64s(ctx, "loss", active, losses); err != nil {
+			return 0, fmt.Errorf("runtime: loss exchange: %w", err)
+		}
 	}
 	loss := tensor.Sum64(losses)
 	// Backward: per layer, concurrent local backward then reverse allgather.
@@ -136,7 +149,7 @@ func (tr *Trainer) EpochContext(ctx context.Context) (float64, error) {
 	for l := numLayers - 1; l >= 0; l-- {
 		gradFull := make([]*tensor.Matrix, c.K)
 		var wg sync.WaitGroup
-		for d := 0; d < c.K; d++ {
+		for _, d := range active {
 			wg.Add(1)
 			go func(d int) {
 				defer wg.Done()
@@ -161,7 +174,9 @@ func (tr *Trainer) EpochContext(ctx context.Context) (float64, error) {
 			return 0, fmt.Errorf("runtime: backward allgather layer %d: %w", l, err)
 		}
 	}
-	tr.allreduceGrads()
+	if err := tr.allreduceGrads(ctx); err != nil {
+		return 0, err
+	}
 	return loss, nil
 }
 
@@ -169,8 +184,14 @@ func (tr *Trainer) EpochContext(ctx context.Context) (float64, error) {
 // ring allreduce (the model-synchronization step DGCL delegates to Horovod /
 // PyTorch DDP, §6.3; GNN models are small so no further optimization is
 // needed). Gradients of one layer/param are reduced together as one buffer.
-func (tr *Trainer) allreduceGrads() {
+// In worker mode each process first exchanges its locally-computed rank
+// gradients with its peers, then runs the same local ring over all K
+// buffers — the reduction order is identical everywhere, so the summed
+// gradients (and therefore the stepped weights) are bit-identical to an
+// in-process run.
+func (tr *Trainer) allreduceGrads(ctx context.Context) error {
 	numLayers := len(tr.Models[0].Layers)
+	active := tr.Cluster.ActiveRanks()
 	bufs := make([]*tensor.Matrix, tr.Cluster.K)
 	for l := 0; l < numLayers; l++ {
 		numParams := len(tr.Models[0].Layers[l].Grads())
@@ -178,12 +199,19 @@ func (tr *Trainer) allreduceGrads() {
 			for d := 0; d < tr.Cluster.K; d++ {
 				bufs[d] = tr.Models[d].Layers[l].Grads()[p]
 			}
+			if tr.Peers != nil {
+				tag := fmt.Sprintf("grad.%d.%d", l, p)
+				if err := tr.Peers.ExchangeMatrices(ctx, tag, active, bufs); err != nil {
+					return fmt.Errorf("runtime: gradient exchange layer %d param %d: %w", l, p, err)
+				}
+			}
 			// Same-shaped replicas by construction; the ring cannot fail.
 			if err := collective.RingAllreduce(bufs); err != nil {
 				panic(fmt.Sprintf("runtime: gradient allreduce: %v", err))
 			}
 		}
 	}
+	return nil
 }
 
 // Step applies one SGD step on every replica (identical because gradients

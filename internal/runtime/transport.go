@@ -74,6 +74,84 @@ type Transport interface {
 // given (flattened) stage layout.
 type TransportFactory func(stages [][]core.Transfer) Transport
 
+// TransportProvider supplies the base transport per collective along with
+// the cluster's client->device mapping. Unlike a bare TransportFactory, a
+// provider can keep long-lived state (pooled sockets, sequence counters)
+// across collectives and route transfers by external device id — so a
+// degraded cluster rebuilt over survivors keeps addressing the same
+// endpoints. The wire transport (internal/comm/wire) is the canonical
+// implementation.
+type TransportProvider interface {
+	CollectiveTransport(stages [][]core.Transfer, deviceIDs []int) Transport
+}
+
+// CopyingTransport marks transports whose Send serializes the payload before
+// returning (the caller regains ownership of msg.Rows as soon as Send
+// returns) and whose Recv yields buffers the caller owns outright. The
+// cluster uses the marker to return send buffers to its pool immediately
+// instead of waiting for the receiving client to recycle them.
+type CopyingTransport interface {
+	Transport
+	// CopiesPayloads is a marker method; it performs no work.
+	CopiesPayloads()
+}
+
+// MessageRecycler is implemented by transports that pool their receive-side
+// buffers: the cluster hands a fully-consumed payload back through it so
+// steady-state epochs stay allocation-flat over any medium.
+type MessageRecycler interface {
+	RecycleMessage(msg Message)
+}
+
+// WrappingTransport exposes a decorator's inner transport so the marker
+// interfaces above stay discoverable under any decorator stack.
+type WrappingTransport interface {
+	Unwrap() Transport
+}
+
+// transportCopies walks the decorator chain looking for a CopyingTransport
+// base.
+func transportCopies(tp Transport) bool {
+	for tp != nil {
+		if _, ok := tp.(CopyingTransport); ok {
+			return true
+		}
+		w, ok := tp.(WrappingTransport)
+		if !ok {
+			return false
+		}
+		tp = w.Unwrap()
+	}
+	return false
+}
+
+// transportRecycler walks the decorator chain looking for a MessageRecycler.
+func transportRecycler(tp Transport) MessageRecycler {
+	for tp != nil {
+		if r, ok := tp.(MessageRecycler); ok {
+			return r
+		}
+		w, ok := tp.(WrappingTransport)
+		if !ok {
+			return nil
+		}
+		tp = w.Unwrap()
+	}
+	return nil
+}
+
+// PeerExchange synchronizes per-rank values across the processes of a
+// multi-process run. vals holds one entry per client rank; entries for the
+// ranks in local are broadcast to every peer process and the remaining
+// entries are filled in from their owning processes. tag disambiguates
+// concurrent exchanges (all processes must issue the same tags in the same
+// order). Implementations must be deterministic: the same inputs produce
+// bit-identical vals on every process.
+type PeerExchange interface {
+	ExchangeMatrices(ctx context.Context, tag string, local []int, vals []*tensor.Matrix) error
+	ExchangeFloat64s(ctx context.Context, tag string, local []int, vals []float64) error
+}
+
 // Sentinel failures a transport can report. Decorators treat these as
 // retryable; anything else is a hard error.
 var (
