@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race fuzz fuzz-smoke vet lint check bench-smoke chaos wire
+.PHONY: all build test race fuzz fuzz-smoke vet lint check bench-smoke chaos wire serve bench-serve
 
 all: build test
 
@@ -58,17 +58,34 @@ wire:
 		-run 'Conformance|Fabric|Frame|PlanDigest|Handshake|Exchanges|SteadyState|Wire|Distributed|SplitRanks|Coordinator|OSProcesses' \
 		./internal/comm/wire/ ./internal/runtime/ ./internal/worker/ .
 
+# Serve tier (DESIGN.md §13): the embedding-serving battery under the race
+# detector — batcher cutoffs, cache/version staleness properties, bitwise
+# equivalence with the direct forward, admission shedding, the DGS1 protocol,
+# and the mid-load device-kill failover.
+serve:
+	$(GO) test -race -count=1 ./internal/serve/
+
+# Bench-serve smoke: the Zipf load driver against an in-process server at two
+# QPS points, recorded as the "current" run of BENCH_serve.json (the
+# "baseline" run is frozen), then the delta table.
+bench-serve:
+	$(GO) run ./cmd/dgclloadgen -selfserve -qps 200,800 -requests 2000 \
+		-record BENCH_serve.json -label current
+	$(GO) run ./cmd/dgclbenchdiff -runs baseline,current BENCH_serve.json
+
 # Short fuzz pass over every fuzz target (plan decode + round-trip, the
-# untrusted checkpoint decode paths, and the wire frame decoder).
+# untrusted checkpoint decode paths, the wire frame decoder, and the serve
+# request decoder).
 fuzz:
 	$(GO) test -fuzz=FuzzReadPlanJSON -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzPlanJSONRoundTrip -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -fuzz=FuzzDecodeManifest -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/comm/wire/
+	$(GO) test -fuzz=FuzzDecodeServeRequest -fuzztime=$(FUZZTIME) ./internal/serve/
 
 # CI-sized fuzz pass: same targets, 10 seconds each.
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=10s
 
-check: vet lint build test race chaos wire
+check: vet lint build test race chaos wire serve

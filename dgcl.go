@@ -259,6 +259,10 @@ type System struct {
 	// executes and the peer exchanger that synchronizes the rest.
 	ranks []int
 	peers PeerExchange
+
+	// Epoch-boundary hooks (see OnEpochEnd): the serving layer's
+	// cache-invalidation seam.
+	epochHooks []func(epoch int, model *Model)
 }
 
 // curTopo returns the fabric the current cluster runs on (degraded after
@@ -502,6 +506,28 @@ func (s *System) SetWorkerMode(ranks []int, peers PeerExchange) error {
 	s.peers = peers
 	s.clu.Ranks = s.ranks
 	return nil
+}
+
+// OnEpochEnd registers a hook observing the epoch boundaries of the
+// resilient Train loop: fn runs synchronously after each completed epoch's
+// optimizer step — and after every crash-recovery rebuild — with the number
+// of the last epoch reflected in the weights (-1 when a recovery restarted
+// from scratch) and replica 0's live model. Hooks that retain the model must
+// Clone it; Train mutates it on the next step. The serving layer
+// (internal/serve) registers its model-version bump and wholesale embedding
+// cache invalidation here, which makes epoch boundaries the safe
+// interleaving point between training and serving on one System: hooks run
+// with no collective in flight.
+func (s *System) OnEpochEnd(fn func(epoch int, model *Model)) {
+	s.epochHooks = append(s.epochHooks, fn)
+}
+
+// fireEpochEnd runs the registered epoch-boundary hooks in registration
+// order.
+func (s *System) fireEpochEnd(epoch int, model *Model) {
+	for _, fn := range s.epochHooks {
+		fn(epoch, model)
+	}
 }
 
 // ensureResilience installs the crash tracker and health tracker (detection

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the rate half of admission control: a classic token bucket
+// refilled continuously at rate tokens/second up to burst. A nil bucket
+// admits everything (rate limiting disabled). The clock is injected by the
+// caller so refill is testable with a fake clock.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket builds a bucket starting full. rate <= 0 disables limiting
+// (returns nil). burst < 1 is raised to 1 so a conforming request can always
+// eventually pass.
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: now}
+}
+
+// allow takes one token if available. It reports false when the bucket is
+// empty — the caller sheds with ErrOverload.
+func (b *tokenBucket) allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// The embedding cache is a size-bounded, partition-aware LRU keyed by
+// (vertex, model-version). Partition-aware means the shard a vertex lives in
+// is its owning device under the system's initial partition: queries for one
+// partition's vertices contend on one lock, matching the request locality a
+// partition-aware router would produce, and shard capacity splits the budget
+// evenly across devices. Sharding is only a placement heuristic — after a
+// degraded replan the assignment is stale as a routing table but still a
+// perfectly good hash, and correctness never depends on it.
+//
+// Version discipline: entries carry the model version they were computed
+// under, get compares it against the caller's current version and treats any
+// mismatch as a miss (evicting the stale entry), and invalidateAll drops
+// everything wholesale on epoch boundaries. Both guards exist so a stale
+// (old model-version) embedding is never returned even if an invalidation
+// and a lookup race.
+type cache struct {
+	shards []cacheShard
+	assign []int32 // vertex -> shard (owning device at build time)
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int        // shard capacity: the budget share of its partition
+	ll  *list.List // front = most recently used
+	idx map[int32]*list.Element
+}
+
+type cacheEntry struct {
+	vertex  int32
+	version uint64
+	row     []float32
+}
+
+// newCache builds a cache bounding total entries across k shards; assign
+// maps vertex id -> shard in [0, k). Each shard's capacity is the budget
+// share proportional to its partition's vertex count (rounded up), so an
+// entries budget covering the whole graph really caches the whole graph even
+// under an imbalanced partition. entries <= 0 disables caching (nil cache,
+// every method a no-op miss).
+func newCache(entries int, assign []int32, k int) *cache {
+	if entries <= 0 || k <= 0 || len(assign) == 0 {
+		return nil
+	}
+	counts := make([]int, k)
+	for _, a := range assign {
+		counts[a]++
+	}
+	c := &cache{shards: make([]cacheShard, k), assign: assign}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.cap = (entries*counts[i] + len(assign) - 1) / len(assign)
+		if s.cap < 1 {
+			s.cap = 1
+		}
+		s.ll = list.New()
+		s.idx = make(map[int32]*list.Element)
+	}
+	return c
+}
+
+func (c *cache) shard(v int32) *cacheShard {
+	return &c.shards[c.assign[v]]
+}
+
+// get returns the cached row for (v, version). A cached row under any other
+// version is removed and reported as a miss. The returned slice is shared
+// with the cache and must not be modified.
+func (c *cache) get(v int32, version uint64) ([]float32, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(v)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.idx[v]
+	if !ok {
+		return nil, false
+	}
+	ent := e.Value.(*cacheEntry)
+	if ent.version != version {
+		s.ll.Remove(e)
+		delete(s.idx, v)
+		return nil, false
+	}
+	s.ll.MoveToFront(e)
+	return ent.row, true
+}
+
+// put inserts (or refreshes) the row for (v, version), evicting the
+// least-recently-used entry of v's shard when the shard is at capacity. The
+// cache takes ownership of row.
+func (c *cache) put(v int32, version uint64, row []float32) {
+	if c == nil {
+		return
+	}
+	s := c.shard(v)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.idx[v]; ok {
+		ent := e.Value.(*cacheEntry)
+		ent.version, ent.row = version, row
+		s.ll.MoveToFront(e)
+		return
+	}
+	s.idx[v] = s.ll.PushFront(&cacheEntry{vertex: v, version: version, row: row})
+	if s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.idx, oldest.Value.(*cacheEntry).vertex)
+	}
+}
+
+// invalidateAll empties every shard — the epoch-boundary wholesale
+// invalidation.
+func (c *cache) invalidateAll() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		clear(s.idx)
+		s.mu.Unlock()
+	}
+}
+
+// len counts cached entries (tests and stats).
+func (c *cache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

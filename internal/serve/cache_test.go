@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// flatAssign maps every vertex to shard 0 — single-shard LRU semantics.
+func flatAssign(n int) []int32 { return make([]int32, n) }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2, flatAssign(8), 1)
+	c.put(0, 1, []float32{0})
+	c.put(1, 1, []float32{1})
+	if _, ok := c.get(0, 1); !ok {
+		t.Fatal("vertex 0 missing before eviction")
+	}
+	// Touch 0, insert 2: the LRU entry is now 1.
+	c.put(2, 1, []float32{2})
+	if _, ok := c.get(1, 1); ok {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	if _, ok := c.get(0, 1); !ok {
+		t.Fatal("recently-used entry 0 evicted")
+	}
+	if _, ok := c.get(2, 1); !ok {
+		t.Fatal("new entry 2 missing")
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+}
+
+func TestCacheVersionMismatchIsMissAndEvicts(t *testing.T) {
+	c := newCache(4, flatAssign(8), 1)
+	c.put(3, 1, []float32{3})
+	if _, ok := c.get(3, 2); ok {
+		t.Fatal("stale version served")
+	}
+	// The stale entry is gone entirely: even the old version misses now.
+	if _, ok := c.get(3, 1); ok {
+		t.Fatal("stale entry not evicted on version mismatch")
+	}
+	if got := c.len(); got != 0 {
+		t.Fatalf("len = %d after stale eviction, want 0", got)
+	}
+}
+
+func TestCacheInvalidateAll(t *testing.T) {
+	assign := []int32{0, 1, 0, 1} // two shards
+	c := newCache(8, assign, 2)
+	for v := int32(0); v < 4; v++ {
+		c.put(v, 7, []float32{float32(v)})
+	}
+	if got := c.len(); got != 4 {
+		t.Fatalf("len = %d before invalidation, want 4", got)
+	}
+	c.invalidateAll()
+	if got := c.len(); got != 0 {
+		t.Fatalf("len = %d after invalidateAll, want 0", got)
+	}
+	for v := int32(0); v < 4; v++ {
+		if _, ok := c.get(v, 7); ok {
+			t.Fatalf("vertex %d survived invalidateAll", v)
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	var c *cache // entries <= 0 => nil cache
+	if got := newCache(0, flatAssign(4), 2); got != nil {
+		t.Fatal("newCache(0) should disable caching")
+	}
+	c.put(0, 1, []float32{0})
+	if _, ok := c.get(0, 1); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.invalidateAll()
+	if c.len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	b := newTokenBucket(10, 2, now) // 10 tokens/s, burst 2, starts full
+	if !b.allow(now) || !b.allow(now) {
+		t.Fatal("burst tokens not available")
+	}
+	if b.allow(now) {
+		t.Fatal("empty bucket admitted a request")
+	}
+	// 100ms refills exactly one token at 10/s.
+	now = now.Add(100 * time.Millisecond)
+	if !b.allow(now) {
+		t.Fatal("refilled token not available")
+	}
+	if b.allow(now) {
+		t.Fatal("second token appeared from a single refill")
+	}
+	// Refill caps at burst even after a long idle stretch.
+	now = now.Add(time.Hour)
+	if !b.allow(now) || !b.allow(now) {
+		t.Fatal("burst not refilled after idle")
+	}
+	if b.allow(now) {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+}
+
+func TestTokenBucketDisabled(t *testing.T) {
+	var b *tokenBucket
+	if b = newTokenBucket(0, 5, time.Unix(0, 0)); b != nil {
+		t.Fatal("rate 0 should disable limiting")
+	}
+	for i := 0; i < 100; i++ {
+		if !b.allow(time.Unix(0, 0)) {
+			t.Fatal("nil bucket rejected a request")
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package serve
+
+import "time"
+
+// Clock abstracts time for the batcher and the admission controller so the
+// cutoff semantics (deadline-before-occupancy, occupancy-before-deadline,
+// token refill) are testable deterministically with a fake clock. Production
+// uses the real clock; Config.Clock overrides it.
+type Clock interface {
+	Now() time.Time
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the minimal timer surface the batcher needs.
+type Timer interface {
+	// C delivers the firing time once the timer expires.
+	C() <-chan time.Time
+	// Stop cancels the timer; it reports whether the call prevented the
+	// firing (time.Timer semantics).
+	Stop() bool
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time                 { return time.Now() }
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }

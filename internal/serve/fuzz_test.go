@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzDecodeServeRequest drives the DGS1 request decode path with arbitrary
+// bytes, mirroring the wire frame codec's fuzz invariants: malformed input —
+// truncated, oversized, bit-flipped, or garbage — must return an error,
+// never panic, and must never allocate a vertex list larger than the capped,
+// validated count declares.
+func FuzzDecodeServeRequest(f *testing.F) {
+	seeds := [][]byte{
+		AppendRequest(nil, &Request{Op: OpQuery, ID: 1, Vertices: []int32{0}}),
+		AppendRequest(nil, &Request{Op: OpQuery, ID: 42, Vertices: []int32{7, 7, 1023, -1}}),
+		AppendRequest(nil, &Request{Op: OpStats, ID: 3}),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+		f.Add(s[:len(s)/2]) // truncated
+		flip := append([]byte(nil), s...)
+		flip[len(flip)/3] ^= 0x10
+		f.Add(flip)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, n, err := DecodeRequest(data)
+		if err != nil {
+			if r != nil || n != 0 {
+				t.Fatalf("error return leaked a partial request: %v, %d", r, n)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		if len(r.Vertices) > MaxQueryVertices {
+			t.Fatalf("vertex list of %d exceeds the cap %d", len(r.Vertices), MaxQueryVertices)
+		}
+		// The encoding is canonical: a request the decoder accepts
+		// re-encodes to the bytes it came from (reserved bytes excepted).
+		re := AppendRequest(nil, r)
+		if len(re) != n {
+			t.Fatalf("re-encode is %d bytes, decode consumed %d", len(re), n)
+		}
+		for i := range re {
+			if re[i] != data[i] && i != 6 && i != 7 { // reserved bytes are not canonical
+				t.Fatalf("re-encode differs at byte %d: %#x vs %#x", i, re[i], data[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+
+	"dgcl/internal/comm/wire"
+)
+
+// ServeListener accepts connections on ln and answers DGS1 requests until the
+// listener is closed. It returns after every in-flight connection handler has
+// exited, so callers can close the listener and then the server without
+// leaking goroutines. A closed listener returns nil; any other accept error
+// is returned as-is.
+func (s *Server) ServeListener(ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn answers one connection's requests in order. Any read, decode, or
+// write failure (including the idle timeout) shears the connection down; the
+// client reconnects.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := ReadRequest(conn, s.cfg.IdleTimeout)
+		if err != nil {
+			return
+		}
+		switch req.Op {
+		case OpQuery:
+			if err := s.handleQuery(conn, req); err != nil {
+				return
+			}
+		case OpStats:
+			reply := StatsReply{ID: req.ID, NumVertices: s.numVertices, Stats: s.Stats()}
+			if err := wire.WriteControl(conn, &reply, s.cfg.WriteTimeout); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handleQuery fans one request's vertices out as concurrent Query calls — the
+// batcher coalesces them into shared flushes — and replies with one slot per
+// vertex in request order.
+func (s *Server) handleQuery(conn net.Conn, req *Request) error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+	reply := QueryReply{
+		ID:       req.ID,
+		Rows:     make([][]float32, len(req.Vertices)),
+		Versions: make([]uint64, len(req.Vertices)),
+		Cached:   make([]bool, len(req.Vertices)),
+		Errors:   make([]string, len(req.Vertices)),
+	}
+	var wg sync.WaitGroup
+	for i, v := range req.Vertices {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.Query(ctx, int(v))
+			if err != nil {
+				reply.Errors[i] = err.Error()
+				return
+			}
+			reply.Rows[i] = res.Row
+			reply.Versions[i] = res.Version
+			reply.Cached[i] = res.Cached
+		}()
+	}
+	wg.Wait()
+	return wire.WriteControl(conn, &reply, s.cfg.WriteTimeout)
+}

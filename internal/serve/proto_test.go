@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpQuery, ID: 1, Vertices: []int32{0}},
+		{Op: OpQuery, ID: 1 << 40, Vertices: []int32{5, 5, 2, 1 << 20}},
+		{Op: OpStats, ID: 9},
+	}
+	for _, want := range cases {
+		buf := AppendRequest(nil, &want)
+		got, n, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("DecodeRequest(%v): %v", want, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d of %d bytes", n, len(buf))
+		}
+		if got.Op != want.Op || got.ID != want.ID || len(got.Vertices) != len(want.Vertices) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+		for i := range want.Vertices {
+			if got.Vertices[i] != want.Vertices[i] {
+				t.Fatalf("vertex %d: got %d, want %d", i, got.Vertices[i], want.Vertices[i])
+			}
+		}
+	}
+}
+
+func TestDecodeRequestRejectsMalformed(t *testing.T) {
+	valid := AppendRequest(nil, &Request{Op: OpQuery, ID: 1, Vertices: []int32{1, 2}})
+	cases := map[string][]byte{
+		"empty":       nil,
+		"short":       valid[:10],
+		"bad magic":   append([]byte("XXXX"), valid[4:]...),
+		"bad version": append(append([]byte{}, valid[:4]...), append([]byte{99}, valid[5:]...)...),
+		"bad op":      append(append([]byte{}, valid[:5]...), append([]byte{77}, valid[6:]...)...),
+		"truncated":   valid[:len(valid)-3],
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x01
+	cases["checksum"] = flipped
+	oversize := append([]byte(nil), valid...)
+	oversize[8], oversize[9], oversize[10], oversize[11] = 0xff, 0xff, 0xff, 0x7f
+	cases["oversized body"] = oversize
+	for name, data := range cases {
+		if r, n, err := DecodeRequest(data); err == nil {
+			t.Errorf("%s: decoded %+v (%d bytes) without error", name, r, n)
+		}
+	}
+	zeroCount := AppendRequest(nil, &Request{Op: OpQuery, ID: 1, Vertices: []int32{}})
+	if _, _, err := DecodeRequest(zeroCount); err == nil {
+		t.Error("zero-vertex query accepted")
+	}
+}
+
+func TestWriteReadRequestOverPipe(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	want := Request{Op: OpQuery, ID: 77, Vertices: []int32{3, 1, 4, 1, 5}}
+	errc := make(chan error, 1)
+	go func() { errc <- WriteRequest(client, &want, 5*time.Second) }()
+	got, err := ReadRequest(server, 5*time.Second)
+	if err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	if werr := <-errc; werr != nil {
+		t.Fatalf("WriteRequest: %v", werr)
+	}
+	if got.Op != want.Op || got.ID != want.ID || len(got.Vertices) != 5 {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	wantBytes := AppendRequest(nil, &want)
+	gotBytes := AppendRequest(nil, got)
+	if !bytes.Equal(wantBytes, gotBytes) {
+		t.Fatal("pipe round trip not canonical")
+	}
+}
+
+func TestReadRequestRejectsOversizedDeclaredBody(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	// A header declaring a body beyond the cap must be rejected from the
+	// header alone (before the reader materializes anything).
+	hdr := AppendRequest(nil, &Request{Op: OpStats, ID: 1})[:reqHeaderSize]
+	hdr = append([]byte(nil), hdr...)
+	hdr[8], hdr[9], hdr[10], hdr[11] = 0xff, 0xff, 0xff, 0x7f
+	go func() {
+		server.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		server.Write(hdr)
+	}()
+	if _, err := ReadRequest(client, 5*time.Second); err == nil {
+		t.Fatal("oversized declared body accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxLatencySamples bounds the latency reservoir; once full, further samples
+// update counters but not quantiles (Stats.DroppedSamples reports how many).
+const maxLatencySamples = 1 << 20
+
+// serverStats is the server's internal accumulator. Counters are atomics
+// (hot path); the latency reservoir and the transition log are mutex'd.
+type serverStats struct {
+	requests  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	shedRate  atomic.Uint64
+	shedQueue atomic.Uint64
+	errors    atomic.Uint64
+
+	flushFull     atomic.Uint64
+	flushDeadline atomic.Uint64
+	flushDrain    atomic.Uint64
+	batchSum      atomic.Uint64
+
+	mu          sync.Mutex
+	batchMax    int
+	lat         []latSample
+	dropped     uint64
+	transitions []Transition
+}
+
+type latSample struct {
+	d   time.Duration
+	hit bool
+}
+
+// Transition records one serve-path failover: the devices that died, the
+// survivors now answering, and the model version minted for the degraded
+// replica (all previously cached embeddings are invalid from this version
+// on).
+type Transition struct {
+	Down      []int
+	Survivors []int
+	Version   uint64
+}
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	Requests  uint64 // admitted or shed, including out-of-range errors
+	Hits      uint64 // served from the embedding cache
+	Misses    uint64 // served through a batched forward
+	ShedRate  uint64 // rejected by the token bucket
+	ShedQueue uint64 // rejected at the queue-depth threshold
+	Errors    uint64 // failed after admission (forward errors, cancellations)
+
+	Flushes       uint64 // total batched forwards
+	FlushFull     uint64 // occupancy-cutoff flushes
+	FlushDeadline uint64 // deadline-cutoff flushes
+	FlushDrain    uint64 // shutdown-drain flushes
+	AvgBatch      float64
+	MaxBatch      int
+
+	P50, P99, P999             time.Duration // all served queries
+	HitP50, HitP99, HitP999    time.Duration // cache hits only
+	MissP50, MissP99, MissP999 time.Duration // batched-forward path only
+
+	ModelVersion   uint64
+	CacheEntries   int
+	DroppedSamples uint64
+
+	// Transitions lists completed serve-path failovers, oldest first.
+	Transitions []Transition
+}
+
+func (s *serverStats) noteFlush(size int, reason flushReason) {
+	switch reason {
+	case flushFull:
+		s.flushFull.Add(1)
+	case flushDeadline:
+		s.flushDeadline.Add(1)
+	case flushDrain:
+		s.flushDrain.Add(1)
+	}
+	s.batchSum.Add(uint64(size))
+	s.mu.Lock()
+	if size > s.batchMax {
+		s.batchMax = size
+	}
+	s.mu.Unlock()
+}
+
+func (s *serverStats) observe(d time.Duration, hit bool) {
+	s.mu.Lock()
+	if len(s.lat) < maxLatencySamples {
+		s.lat = append(s.lat, latSample{d: d, hit: hit})
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
+func (s *serverStats) noteTransition(t Transition) {
+	s.mu.Lock()
+	s.transitions = append(s.transitions, t)
+	s.mu.Unlock()
+}
+
+// snapshot assembles a Stats under the reservoir lock.
+func (s *serverStats) snapshot(version uint64, cacheEntries int) Stats {
+	out := Stats{
+		Requests:      s.requests.Load(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		ShedRate:      s.shedRate.Load(),
+		ShedQueue:     s.shedQueue.Load(),
+		Errors:        s.errors.Load(),
+		FlushFull:     s.flushFull.Load(),
+		FlushDeadline: s.flushDeadline.Load(),
+		FlushDrain:    s.flushDrain.Load(),
+		ModelVersion:  version,
+		CacheEntries:  cacheEntries,
+	}
+	out.Flushes = out.FlushFull + out.FlushDeadline + out.FlushDrain
+	if out.Flushes > 0 {
+		out.AvgBatch = float64(s.batchSum.Load()) / float64(out.Flushes)
+	}
+	s.mu.Lock()
+	out.MaxBatch = s.batchMax
+	out.DroppedSamples = s.dropped
+	out.Transitions = append([]Transition(nil), s.transitions...)
+	all := make([]time.Duration, 0, len(s.lat))
+	hits := make([]time.Duration, 0, len(s.lat))
+	misses := make([]time.Duration, 0, len(s.lat))
+	for _, l := range s.lat {
+		all = append(all, l.d)
+		if l.hit {
+			hits = append(hits, l.d)
+		} else {
+			misses = append(misses, l.d)
+		}
+	}
+	s.mu.Unlock()
+	out.P50, out.P99, out.P999 = quantiles(all)
+	out.HitP50, out.HitP99, out.HitP999 = quantiles(hits)
+	out.MissP50, out.MissP99, out.MissP999 = quantiles(misses)
+	return out
+}
+
+// quantiles returns the p50/p99/p999 of the samples (zeros when empty).
+// It sorts a copy; callers own their slices.
+func quantiles(d []time.Duration) (p50, p99, p999 time.Duration) {
+	if len(d) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), d...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return quantile(sorted, 0.50), quantile(sorted, 0.99), quantile(sorted, 0.999)
+}
+
+// quantile picks the nearest-rank quantile from an ascending slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

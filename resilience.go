@@ -303,6 +303,7 @@ func (s *System) Train(ctx context.Context, model *Model, features, targets *Mat
 			if opts.OnEpoch != nil {
 				opts.OnEpoch(epoch, loss)
 			}
+			s.fireEpochEnd(epoch, tr.Models[0])
 			epoch++
 			retries = 0
 			if store != nil && (epoch%every == 0 || epoch == opts.Epochs) {
@@ -357,6 +358,10 @@ func (s *System) Train(ctx context.Context, model *Model, features, targets *Mat
 		if err != nil {
 			return result, err
 		}
+		// The weights may have rolled back to an older checkpoint and the
+		// cluster was rebuilt over survivors: anything derived from the
+		// pre-crash model (served embedding caches above all) is stale.
+		s.fireEpochEnd(resumeEpoch-1, tr.Models[0])
 		epoch, retries = resumeEpoch, 0
 		ev := RecoveryEvent{
 			FailedEpoch:  failedEpoch,
