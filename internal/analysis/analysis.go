@@ -84,6 +84,11 @@ type Package struct {
 	// TypeErrors collects type-checker complaints. Analysis still runs on
 	// partially-checked packages; the driver surfaces these separately.
 	TypeErrors []error
+	// LoadErr is the `go list -e` Error for a package that failed to
+	// resolve (bad pattern, missing directory, build-constraint exclusion).
+	// Such a package carries no files; the driver reports the error as a
+	// diagnostic instead of silently dropping the package.
+	LoadErr string
 }
 
 // Run executes the analyzers on the package and returns their findings with

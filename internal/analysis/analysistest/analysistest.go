@@ -32,36 +32,56 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads testdata/src/<pkg> (relative to the calling test's directory),
-// runs the analyzer over it, and reports mismatches between diagnostics and
-// `// want` expectations through t.
+// TB is the subset of testing.T the harness reports through. The seam lets
+// the harness's own tests substitute a recording reporter and assert that
+// mismatches in either direction are caught — a harness whose failures can't
+// be tested is a harness that can silently stop failing.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Run loads testdata/src/<pkg> (relative to the calling test's directory) —
+// plus any subdirectories as packages importable by the fixtures as
+// "<pkg>/<subdir>" — runs the analyzer over every loaded package, and
+// reports mismatches between diagnostics and `// want` expectations
+// through t.
 func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 	t.Helper()
+	RunTB(t, a, pkg)
+}
+
+// RunTB is Run against any TB. After a Fatalf the reporter must not return
+// control (testing.T's kills the goroutine; a fake should panic).
+func RunTB(t TB, a *analysis.Analyzer, pkg string) {
+	t.Helper()
 	dir := filepath.Join("testdata", "src", pkg)
-	p, err := analysis.DefaultLoader().LoadDir(dir, pkg)
+	pkgs, err := analysis.DefaultLoader().LoadTree(dir, pkg)
 	if err != nil {
 		t.Fatalf("load %s: %v", dir, err)
 	}
-	diags, err := p.Run([]*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("run %s on %s: %v", a.Name, pkg, err)
-	}
-	wants, err := parseWants(p)
-	if err != nil {
-		t.Fatalf("parse want comments in %s: %v", dir, err)
-	}
-
-	for _, d := range diags {
-		pos := p.Fset.Position(d.Pos)
-		if w := match(wants, pos.Filename, pos.Line, d.Message); w != nil {
-			w.matched = true
-			continue
+	for _, p := range pkgs {
+		diags, err := p.Run([]*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, p.Path, err)
 		}
-		t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
-	}
-	for _, w := range wants {
-		if !w.matched {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		wants, err := parseWants(p)
+		if err != nil {
+			t.Fatalf("parse want comments in %s: %v", p.Path, err)
+		}
+		for _, d := range diags {
+			pos := p.Fset.Position(d.Pos)
+			if w := match(wants, pos.Filename, pos.Line, d.Message); w != nil {
+				w.matched = true
+				continue
+			}
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+			}
 		}
 	}
 }

@@ -1,0 +1,133 @@
+package analysistest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"dgcl/internal/analysis"
+	"dgcl/internal/analysis/analysistest"
+)
+
+// flagAnalyzer reports every top-level function whose name starts with
+// "Flag" — a trivial check whose findings the multi fixture pins with wants
+// in both the root package and its imported subpackage.
+var flagAnalyzer = &analysis.Analyzer{
+	Name: "flagtest",
+	Doc:  "reports functions named Flag* (harness self-test)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Flag") {
+					pass.Reportf(fd.Pos(), "function %s is flagged", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// silentAnalyzer reports nothing, so every want in the fixture goes
+// unmatched.
+var silentAnalyzer = &analysis.Analyzer{
+	Name: "silenttest",
+	Doc:  "reports nothing (harness self-test)",
+	Run:  func(pass *analysis.Pass) error { return nil },
+}
+
+// noisyAnalyzer reports on a line that carries no want.
+var noisyAnalyzer = &analysis.Analyzer{
+	Name: "noisytest",
+	Doc:  "reports unexpected findings (harness self-test)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "clean" {
+					pass.Reportf(fd.Pos(), "function %s is flagged", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// The multi fixture loads the root package plus its subdirectory package,
+// resolves the cross-package import, and matches wants in both files.
+func TestMultiPackageFixture(t *testing.T) {
+	analysistest.Run(t, flagAnalyzer, "multi")
+}
+
+// fakeTB records harness failures instead of failing the real test.
+type fakeTB struct {
+	errors []string
+	fatal  string
+}
+
+type fatalCalled struct{}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.fatal = fmt.Sprintf(format, args...)
+	panic(fatalCalled{})
+}
+
+// runFake runs the harness against a recording reporter, translating its
+// Fatalf panic back into a return.
+func runFake(a *analysis.Analyzer, pkg string) *fakeTB {
+	fake := &fakeTB{}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(fatalCalled); !ok {
+					panic(r)
+				}
+			}
+		}()
+		analysistest.RunTB(fake, a, pkg)
+	}()
+	return fake
+}
+
+// A want with no matching diagnostic must fail — in every package of the
+// tree, not just the root.
+func TestHarnessCatchesMissingDiagnostics(t *testing.T) {
+	fake := runFake(silentAnalyzer, "multi")
+	if fake.fatal != "" {
+		t.Fatalf("unexpected fatal: %s", fake.fatal)
+	}
+	if len(fake.errors) != 2 {
+		t.Fatalf("silent analyzer produced %d errors, want 2 (one per unmatched want):\n%s",
+			len(fake.errors), strings.Join(fake.errors, "\n"))
+	}
+	joined := strings.Join(fake.errors, "\n")
+	for _, frag := range []string{"a.go", "sub.go", "expected diagnostic"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("errors missing %q:\n%s", frag, joined)
+		}
+	}
+}
+
+// A diagnostic on a line with no want must fail, and the matched wants must
+// not mask it.
+func TestHarnessCatchesUnexpectedDiagnostic(t *testing.T) {
+	fake := runFake(noisyAnalyzer, "multi")
+	joined := strings.Join(fake.errors, "\n")
+	if !strings.Contains(joined, "unexpected diagnostic") {
+		t.Fatalf("unexpected diagnostic not reported:\n%s", joined)
+	}
+}
+
+// A missing fixture directory is a fatal load error, not a silent pass.
+func TestHarnessFatalOnMissingFixture(t *testing.T) {
+	fake := runFake(flagAnalyzer, "nosuchfixture")
+	if fake.fatal == "" {
+		t.Fatal("missing fixture did not Fatalf")
+	}
+	if !strings.Contains(fake.fatal, "nosuchfixture") {
+		t.Fatalf("fatal does not name the fixture: %s", fake.fatal)
+	}
+}

@@ -1,0 +1,16 @@
+// Package multi is the harness's own fixture: a root package importing a
+// sibling testdata package, with expectations in both files, proving the
+// loader resolves fixture-local imports and the matcher covers every loaded
+// package.
+package multi
+
+import "multi/sub"
+
+func FlagRoot() sub.Thing { // want "function FlagRoot is flagged"
+	return sub.Make()
+}
+
+func clean() int {
+	t := FlagRoot()
+	return t.N + sub.FlagValue
+}

@@ -1,0 +1,13 @@
+// Package sub is the helper package the multi fixture imports.
+package sub
+
+// FlagValue exists so the root package uses a cross-package constant.
+const FlagValue = 7
+
+// Thing crosses the package boundary as a return type.
+type Thing struct{ N int }
+
+// Make builds a Thing.
+func Make() Thing { return Thing{N: FlagValue} }
+
+func FlagHelper() {} // want "function FlagHelper is flagged"

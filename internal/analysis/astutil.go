@@ -227,6 +227,25 @@ func IsNamedType(t types.Type, pkgPath, name string) bool {
 	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
 }
 
+// IsDeadlineConn reports whether t's method set has SetReadDeadline(time.Time)
+// — the structural signature of net.Conn and the in-memory test conns, used
+// by ctxbound (C6) and lockdisc (L3) to recognize socket I/O.
+func IsDeadlineConn(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "SetReadDeadline")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return false
+	}
+	return IsNamedType(sig.Params().At(0).Type(), "time", "Time")
+}
+
 // IsContextType reports whether t is context.Context.
 func IsContextType(t types.Type) bool {
 	if t == nil {

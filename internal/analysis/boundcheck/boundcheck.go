@@ -1,0 +1,114 @@
+// Package boundcheck implements the dgclvet analyzer that enforces the
+// bounded-decode discipline on the untrusted-input surfaces (DGW1 wire
+// frames, DGS1 serve requests, DGCLSNAP checkpoints, worker control):
+// every length or count decoded from raw input must pass a bound
+// comparison before it reaches an allocation.
+//
+// The analyzer rides the dataflow engine (DESIGN.md §14): bytes arriving
+// through io.Reader/net.Conn reads and the []byte parameters of exported
+// decode entry points are untrusted; integers extracted from them via
+// binary.LittleEndian/BigEndian or strconv stay untrusted until compared
+// against a bound (a comparison against the literal 0 does not count — "n
+// == 0" guards the empty case, it does not cap n). An untrusted value
+// reaching make, a size-classed pool Get, tensor.New, or an io.ReadFull
+// slice bound is a finding. Facts flow one call deep: a helper that
+// bound-checks its parameter sanitizes the caller's argument, a helper
+// that fills a buffer taints it, and arguments untrusted at a call site
+// taint the callee's parameters.
+package boundcheck
+
+import (
+	"go/ast"
+	"strings"
+
+	"dgcl/internal/analysis"
+)
+
+// Analyzer is the boundcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundcheck",
+	Doc: "flags untrusted lengths/counts decoded from frames, requests, or " +
+		"snapshots that reach make/pool allocations or io.ReadFull bounds " +
+		"without a dominating bound comparison",
+	AppliesTo: func(pkgPath string) bool {
+		switch pkgPath {
+		case "dgcl/internal/comm/wire", "dgcl/internal/serve",
+			"dgcl/internal/checkpoint", "dgcl/internal/worker":
+			return true
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	cg := analysis.BuildCallGraph(pass)
+	eng := analysis.NewTaint(pass, cg)
+
+	// Entry taint: the []byte parameters of exported functions carry raw
+	// input (DecodeFrame, DecodeRequest, DecodeSnapshot, ...). Everything
+	// else starts clean and picks up taint from reader fills or callers.
+	entry := make(map[*analysis.FuncNode][]bool, len(cg.Ordered))
+	for _, fn := range cg.Ordered {
+		params := eng.ParamsOf(fn)
+		v := make([]bool, len(params))
+		if ast.IsExported(fn.Obj.Name()) {
+			for i, p := range params {
+				if p != nil && analysis.IsByteSlice(p.Type()) {
+					v[i] = true
+				}
+			}
+		}
+		entry[fn] = v
+	}
+
+	// One propagation round (summary depth 1): an argument that is
+	// untrusted at a package-local call site taints the callee's
+	// parameter, so the sink fires inside the helper that allocates.
+	extra := make(map[*analysis.FuncNode][]bool, len(cg.Ordered))
+	for _, fn := range cg.Ordered {
+		eng.AnalyzeFunc(fn, entry[fn], nil, func(site *analysis.CallSite, facts []analysis.Fact) {
+			if site.Callee == nil || isPoolGet(site.Callee) {
+				// A pool Get IS the allocation sink: the engine reports an
+				// untrusted argument at the call site, so taint must not
+				// also flow into the allocator's own make.
+				return
+			}
+			v := extra[site.Callee]
+			if v == nil {
+				v = make([]bool, len(eng.ParamsOf(site.Callee)))
+				extra[site.Callee] = v
+			}
+			for i, f := range facts {
+				if i < len(v) && f == analysis.FactUntrusted {
+					v[i] = true
+				}
+			}
+		})
+	}
+
+	for _, fn := range cg.Ordered {
+		merged := entry[fn]
+		for i, b := range extra[fn] {
+			if b && i < len(merged) {
+				merged[i] = true
+			}
+		}
+		eng.AnalyzeFunc(fn, merged, func(s analysis.Sink) {
+			pass.Reportf(s.Pos,
+				"untrusted value (%s) reaches %s without a dominating bound check; "+
+					"compare it against a fixed cap before allocating", s.Origin, s.Call)
+		}, nil)
+	}
+	return nil
+}
+
+// isPoolGet reports whether fn is a Get/get method on a *Pool* type — the
+// allocator the engine already treats as a sink at call sites.
+func isPoolGet(fn *analysis.FuncNode) bool {
+	if fn.Obj.Name() != "Get" && fn.Obj.Name() != "get" {
+		return false
+	}
+	name := fn.Name()
+	return name != fn.Obj.Name() && strings.Contains(name, "Pool")
+}

@@ -1,0 +1,12 @@
+package boundcheck_test
+
+import (
+	"testing"
+
+	"dgcl/internal/analysis/analysistest"
+	"dgcl/internal/analysis/boundcheck"
+)
+
+func TestBoundcheck(t *testing.T) {
+	analysistest.Run(t, boundcheck.Analyzer, "a")
+}

@@ -1,0 +1,126 @@
+// Positive and negative corpus for boundcheck: lines with `want` comments
+// must be flagged, lines without must stay silent. The suite is
+// deliberately multi-file — helpers.go holds the depth-1 helpers whose
+// summaries this file leans on.
+package a
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+const maxBody = 1 << 20
+
+// DecodeFrame is the canonical bad decode: the length prefix goes straight
+// from the header to the allocator.
+func DecodeFrame(data []byte) []byte {
+	n := binary.LittleEndian.Uint32(data)
+	return make([]byte, n) // want "untrusted value .* reaches make without a dominating bound check"
+}
+
+// DecodeFrameBounded is the same decode with the cap comparison in place.
+func DecodeFrameBounded(data []byte) []byte {
+	n := binary.LittleEndian.Uint32(data)
+	if n > maxBody {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// DecodeFrameZeroCheck guards the empty case only: comparing against the
+// literal 0 does not bound n.
+func DecodeFrameZeroCheck(data []byte) []byte {
+	n := binary.LittleEndian.Uint32(data)
+	if n == 0 {
+		return nil
+	}
+	return make([]byte, n) // want "untrusted value .* reaches make without a dominating bound check"
+}
+
+// ReadFrame shows the reader-fill source: header bytes read off the conn
+// are untrusted even though hdr itself was allocated with a constant.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(hdr)
+	buf := make([]byte, n) // want "untrusted value .* reaches make without a dominating bound check"
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// ReadFrameBounded is the fixed twin.
+func ReadFrameBounded(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(hdr)
+	if n > maxBody {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// ReadInto demonstrates the slice-bound sink: reading into buf[:n] with an
+// untrusted n overruns whatever the caller sized buf for.
+func ReadInto(r io.Reader, buf []byte) error {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	_, err := io.ReadFull(r, buf[:n]) // want "untrusted value .* reaches io.ReadFull"
+	return err
+}
+
+// DecodeMatrix exercises the pool sink and the helper summaries from
+// helpers.go: parseDims bounds both dimensions, so the Get is clean; the
+// raw header fields are not.
+func DecodeMatrix(data []byte, pool *MatrixPool) []float32 {
+	rows, cols, ok := parseDims(data)
+	if !ok {
+		return nil
+	}
+	return pool.Get(rows, cols)
+}
+
+// DecodeMatrixRaw skips the helper and pays for it.
+func DecodeMatrixRaw(data []byte, pool *MatrixPool) []float32 {
+	rows := int(binary.LittleEndian.Uint32(data))
+	cols := int(binary.LittleEndian.Uint32(data[4:]))
+	return pool.Get(rows, cols) // want "untrusted value .* reaches MatrixPool.Get" "untrusted value .* reaches MatrixPool.Get"
+}
+
+// DecodeViaHeader leans on the field-sensitive header summary: h.length is
+// bounded inside parseHeader, h.sum never is.
+func DecodeViaHeader(data []byte) []byte {
+	h, ok := parseHeader(data)
+	if !ok {
+		return nil
+	}
+	return make([]byte, h.length)
+}
+
+// DecodeSumAsLength allocates from the unbounded field.
+func DecodeSumAsLength(data []byte) []byte {
+	h, ok := parseHeader(data)
+	if !ok {
+		return nil
+	}
+	return make([]byte, h.sum) // want "untrusted value .* reaches make without a dominating bound check"
+}
+
+// fill is an unexported helper: its parameter is tainted by the exported
+// caller below, and the sink fires here, inside the allocating helper.
+func fill(n uint32) []byte {
+	return make([]byte, n) // want "untrusted value .* reaches make without a dominating bound check"
+}
+
+// DecodeDelegated taints fill's parameter one call deep.
+func DecodeDelegated(data []byte) []byte {
+	return fill(binary.LittleEndian.Uint32(data))
+}

@@ -1,0 +1,44 @@
+// The depth-1 helpers a.go calls across the file boundary: the analyzer's
+// call-graph summaries must see these even though they live in a different
+// file of the package.
+package a
+
+import "encoding/binary"
+
+const maxDim = 1 << 14
+
+// MatrixPool stands in for the size-classed pools: any Get on a *Pool*
+// type is an allocation sink.
+type MatrixPool struct{}
+
+// Get allocates rows*cols floats.
+func (p *MatrixPool) Get(rows, cols int) []float32 {
+	return make([]float32, rows*cols)
+}
+
+// parseDims bound-checks both dimensions; callers' arguments come out
+// sanitized (BoundsParam summary).
+func parseDims(data []byte) (rows, cols int, ok bool) {
+	rows = int(binary.LittleEndian.Uint32(data))
+	cols = int(binary.LittleEndian.Uint32(data[4:]))
+	if rows > maxDim || cols > maxDim {
+		return 0, 0, false
+	}
+	return rows, cols, true
+}
+
+// header mirrors the wire frame header: length is validated at parse time,
+// sum is carried raw.
+type header struct {
+	length uint32
+	sum    uint64
+}
+
+// parseHeader bounds length but not sum (ResultField summary).
+func parseHeader(data []byte) (header, bool) {
+	n := binary.LittleEndian.Uint32(data)
+	if n > uint32(maxDim) {
+		return header{}, false
+	}
+	return header{length: n, sum: binary.LittleEndian.Uint64(data[4:])}, true
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The package-local call graph underlying the dgclvet dataflow analyzers
+// (DESIGN.md §14). It resolves only statically-dispatched calls whose callee
+// is declared in the package under analysis: that is exactly the
+// decode-helper shape the boundcheck/lockdisc summaries need (an exported
+// entry point fanning into unexported helpers), and it keeps the graph free
+// of the soundness cliffs of interface dispatch — a call through an
+// interface or a function value simply has a nil Callee and contributes no
+// summary facts.
+
+// A FuncNode is one function or method declared in the package.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	// Calls are the static call sites inside this function's body,
+	// in source order (including sites inside function literals nested in
+	// the body — a closure runs with its enclosing function's facts as far
+	// as the depth-1 analyses are concerned).
+	Calls []*CallSite
+}
+
+// Name returns the function's name (methods render as Type.Name).
+func (fn *FuncNode) Name() string {
+	if recv := fn.Obj.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Obj.Name()
+		}
+	}
+	return fn.Obj.Name()
+}
+
+// A CallSite is one static call expression.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Caller *FuncNode
+	// Callee is the package-local target, nil for cross-package calls,
+	// interface dispatch, function values, and built-ins.
+	Callee *FuncNode
+}
+
+// CallGraph indexes the package's functions and their call sites.
+type CallGraph struct {
+	// Nodes maps every declared function/method object to its node.
+	Nodes map[*types.Func]*FuncNode
+	// Ordered lists the nodes in source order, for deterministic iteration.
+	Ordered []*FuncNode
+	// callers maps a node to the sites that invoke it.
+	callers map[*FuncNode][]*CallSite
+}
+
+// CallersOf returns the package-local call sites targeting fn, in the order
+// they were discovered (source order within each caller).
+func (g *CallGraph) CallersOf(fn *FuncNode) []*CallSite { return g.callers[fn] }
+
+// NodeFor returns the node for a declared function object, or nil.
+func (g *CallGraph) NodeFor(obj *types.Func) *FuncNode {
+	if obj == nil {
+		return nil
+	}
+	return g.Nodes[obj]
+}
+
+// StaticCallee resolves call to the package-local function it invokes, or
+// nil. Both plain calls (helper(x)) and method calls (p.helper(x)) resolve;
+// conversions and built-ins do not.
+func StaticCallee(pass *Pass, g *CallGraph, call *ast.CallExpr) *FuncNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.ObjectOf(fun).(*types.Func); ok {
+			return g.NodeFor(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.ObjectOf(fun.Sel).(*types.Func); ok {
+			if sel, ok := pass.TypesInfo.Selections[fun]; !ok || sel.Kind() == types.MethodVal {
+				return g.NodeFor(fn)
+			}
+		}
+	}
+	return nil
+}
+
+// BuildCallGraph constructs the package-local call graph for the pass's
+// files.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		Nodes:   make(map[*types.Func]*FuncNode),
+		callers: make(map[*FuncNode][]*CallSite),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.ObjectOf(fd.Name).(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{Obj: obj, Decl: fd}
+			g.Nodes[obj] = node
+			g.Ordered = append(g.Ordered, node)
+		}
+	}
+	for _, node := range g.Ordered {
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			site := &CallSite{Call: call, Caller: node, Callee: StaticCallee(pass, g, call)}
+			node.Calls = append(node.Calls, site)
+			if site.Callee != nil {
+				g.callers[site.Callee] = append(g.callers[site.Callee], site)
+			}
+			return true
+		})
+	}
+	return g
+}

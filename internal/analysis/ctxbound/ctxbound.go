@@ -201,21 +201,8 @@ func checkConnDeadlines(pass *analysis.Pass, fd *ast.FuncDecl) {
 // isConnType reports whether t is a deadline-capable connection: its method
 // set has SetReadDeadline(time.Time) — true for net.Conn, every concrete
 // net connection, and test doubles, and false for plain io.Readers/Writers.
-func isConnType(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "SetReadDeadline")
-	fn, ok := obj.(*types.Func)
-	if !ok {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Params().Len() != 1 {
-		return false
-	}
-	return analysis.IsNamedType(sig.Params().At(0).Type(), "time", "Time")
-}
+// (Shared with lockdisc via analysis.IsDeadlineConn.)
+func isConnType(t types.Type) bool { return analysis.IsDeadlineConn(t) }
 
 // contextVariant returns the callee's display name and whether a sibling
 // named <callee>Context exists: a method on the same receiver type, or a

@@ -1,0 +1,878 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the dgclvet dataflow engine (DESIGN.md §14): a lightweight
+// forward taint analysis over one package, built on the package-local call
+// graph in callgraph.go. It tracks where values originate (bytes read off a
+// net.Conn or io.Reader, integers decoded from raw frame bodies), pushes
+// those facts through assignments, calls and returns in source order, and
+// lets analyzers ask "did an untrusted length reach this allocation without
+// a dominating bound comparison?".
+//
+// The lattice is deliberately tiny — None < Bounded < Untrusted — and the
+// transfer function is an approximation, not a CFG-precise dataflow:
+//
+//   - Statement order stands in for dominance. A bound comparison sanitizes
+//     its operands for the rest of the function; in the early-return decode
+//     style this package tree uses ("if n > cap { return err }"), source
+//     order and dominance coincide. A comparison inside a never-taken
+//     branch, or one whose polarity guards the wrong arm, is still credited
+//     (a known blind spot).
+//   - Facts are field-sensitive one level deep: h.length and h.sum carry
+//     independent facts, a.b.c collapses to a's "Rows"-level field.
+//   - Summaries flow facts exactly one call deep. A helper's summary
+//     records which parameters it bound-checks, which it fills with
+//     untrusted bytes, and how its results derive from its parameters;
+//     callers apply those effects at the call site, and callee bodies are
+//     re-analyzed with the union of taint their callers pass in. Depth 1 is
+//     enough for the decode-helper shape (exported entry → unexported
+//     helpers) in wire, serve and checkpoint; a chain of three hops loses
+//     the taint (also documented).
+//   - Comparisons against the literal 0 do not sanitize: "n == 0" guards
+//     the empty case, it does not bound n.
+
+// Fact is one lattice point for a tracked value.
+type Fact uint8
+
+const (
+	// FactNone: nothing known; the value is trusted.
+	FactNone Fact = iota
+	// FactBounded: the value derives from untrusted input but a bound
+	// comparison on it has been seen.
+	FactBounded
+	// FactUntrusted: the value derives from untrusted input and no bound
+	// comparison has been seen yet.
+	FactUntrusted
+)
+
+// join returns the higher (less safe) of two facts.
+func (f Fact) join(g Fact) Fact {
+	if g > f {
+		return g
+	}
+	return f
+}
+
+// Ref names one tracked storage location: a variable, or one field of a
+// struct variable (Field == "" is the whole variable).
+type Ref struct {
+	Obj   types.Object
+	Field string
+}
+
+// Summary is the depth-1 interprocedural fact set for one function,
+// computed by NewTaint and applied at call sites.
+type Summary struct {
+	// BoundsParam[i]: the body compares parameter i against a bound, so a
+	// call sanitizes the caller's argument.
+	BoundsParam []bool
+	// FillsParam[i]: the body writes untrusted bytes into (the storage
+	// behind) parameter i — a Read-style helper.
+	FillsParam []bool
+	// Result[i] is the fact of result i when every parameter is untrusted.
+	Result []Fact
+	// ResultIndep[i] is the fact of result i when no parameter is tainted
+	// (untrusted here means the function reads untrusted input itself).
+	ResultIndep []Fact
+	// ResultField/ResultFieldIndep carry per-field facts for struct
+	// results, same convention.
+	ResultField      []map[string]Fact
+	ResultFieldIndep []map[string]Fact
+}
+
+// Sink is one allocation-style use of an untrusted value, reported by
+// Taint.AnalyzeFunc.
+type Sink struct {
+	Pos token.Pos
+	// Call names the allocating operation ("make", "Pool.Get", "tensor.New",
+	// "io.ReadFull").
+	Call string
+	// Origin describes where the untrusted value came from.
+	Origin string
+}
+
+// Taint is the per-package dataflow engine.
+type Taint struct {
+	pass      *Pass
+	cg        *CallGraph
+	summaries map[*FuncNode]*Summary
+}
+
+// NewTaint builds summaries for every function in the call graph. Summaries
+// are computed in two rounds so that depth-1 callee effects (a helper that
+// itself delegates filling or bounding to another local helper) are visible;
+// deeper chains are not chased.
+func NewTaint(pass *Pass, cg *CallGraph) *Taint {
+	t := &Taint{pass: pass, cg: cg, summaries: make(map[*FuncNode]*Summary)}
+	for round := 0; round < 2; round++ {
+		next := make(map[*FuncNode]*Summary, len(cg.Ordered))
+		for _, fn := range cg.Ordered {
+			next[fn] = t.summarize(fn)
+		}
+		t.summaries = next
+	}
+	return t
+}
+
+// SummaryOf returns fn's summary (never nil after NewTaint).
+func (t *Taint) SummaryOf(fn *FuncNode) *Summary { return t.summaries[fn] }
+
+// ParamsOf returns fn's declared parameter objects, flattened in order
+// (nil holds the place of an unnamed parameter).
+func (t *Taint) ParamsOf(fn *FuncNode) []types.Object { return paramObjs(t.pass, fn) }
+
+// paramObjs returns the objects of fn's declared parameters, flattened.
+func paramObjs(pass *Pass, fn *FuncNode) []types.Object {
+	var objs []types.Object
+	if fn.Decl.Type.Params == nil {
+		return objs
+	}
+	for _, field := range fn.Decl.Type.Params.List {
+		for _, name := range field.Names {
+			objs = append(objs, pass.ObjectOf(name))
+		}
+		if len(field.Names) == 0 {
+			objs = append(objs, nil) // unnamed parameter: position holder
+		}
+	}
+	return objs
+}
+
+// summarize computes fn's summary with the current summary table for
+// callees.
+func (t *Taint) summarize(fn *FuncNode) *Summary {
+	params := paramObjs(t.pass, fn)
+	allTainted := make([]bool, len(params))
+	for i := range allTainted {
+		allTainted[i] = true
+	}
+	tainted := t.run(fn, allTainted, nil, nil)
+	clean := t.run(fn, make([]bool, len(params)), nil, nil)
+
+	s := &Summary{
+		BoundsParam:      make([]bool, len(params)),
+		FillsParam:       make([]bool, len(params)),
+		Result:           tainted.results,
+		ResultIndep:      clean.results,
+		ResultField:      tainted.resultFields,
+		ResultFieldIndep: clean.resultFields,
+	}
+	for i, obj := range params {
+		if obj == nil {
+			continue
+		}
+		s.BoundsParam[i] = tainted.sanitized[Ref{Obj: obj}]
+		// A parameter that ends up untrusted in the clean run was filled
+		// with input bytes by the body itself.
+		s.FillsParam[i] = clean.st.get(Ref{Obj: obj}) == FactUntrusted
+	}
+	return s
+}
+
+// AnalyzeFunc runs the forward walk over fn with the given per-parameter
+// taint. sink (optional) receives every unbounded untrusted value reaching
+// an allocation. argFacts (optional) receives, for every package-local call
+// site in fn, the fact of each argument at that point — the hook boundcheck
+// uses to propagate taint one call deep into callees.
+func (t *Taint) AnalyzeFunc(fn *FuncNode, taintedParams []bool, sink func(Sink), argFacts func(site *CallSite, facts []Fact)) {
+	t.run(fn, taintedParams, sink, argFacts)
+}
+
+// state is the mutable fact table of one function walk.
+type taintState struct {
+	facts   map[Ref]Fact
+	origins map[Ref]string
+}
+
+func (st *taintState) get(r Ref) Fact {
+	if r.Obj == nil {
+		return FactNone
+	}
+	if f, ok := st.facts[r]; ok {
+		return f
+	}
+	if r.Field != "" {
+		return st.facts[Ref{Obj: r.Obj}]
+	}
+	return FactNone
+}
+
+func (st *taintState) origin(r Ref) string {
+	if o, ok := st.origins[r]; ok {
+		return o
+	}
+	if r.Field != "" {
+		return st.origins[Ref{Obj: r.Obj}]
+	}
+	return ""
+}
+
+func (st *taintState) set(r Ref, f Fact, origin string) {
+	if r.Obj == nil {
+		return
+	}
+	st.facts[r] = f
+	if f == FactNone {
+		delete(st.origins, r)
+	} else if origin != "" {
+		st.origins[r] = origin
+	}
+}
+
+// sanitize downgrades an untrusted ref (and, for a whole-variable ref, its
+// tracked fields) to bounded.
+func (st *taintState) sanitize(r Ref) bool {
+	hit := false
+	if st.get(r) == FactUntrusted {
+		st.facts[r] = FactBounded
+		hit = true
+	}
+	if r.Field == "" {
+		for fr, f := range st.facts {
+			if fr.Obj == r.Obj && f == FactUntrusted {
+				st.facts[fr] = FactBounded
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// runResult carries what summarize needs out of one walk.
+type runResult struct {
+	st           *taintState
+	sanitized    map[Ref]bool
+	results      []Fact
+	resultFields []map[string]Fact
+}
+
+type walker struct {
+	t         *Taint
+	fn        *FuncNode
+	st        *taintState
+	sanitized map[Ref]bool
+	sink      func(Sink)
+	argFacts  func(site *CallSite, facts []Fact)
+	res       *runResult
+	sites     map[*ast.CallExpr]*CallSite
+	nresults  int
+}
+
+func (t *Taint) run(fn *FuncNode, taintedParams []bool, sink func(Sink), argFacts func(*CallSite, []Fact)) *runResult {
+	st := &taintState{facts: make(map[Ref]Fact), origins: make(map[Ref]string)}
+	params := paramObjs(t.pass, fn)
+	for i, obj := range params {
+		if i < len(taintedParams) && taintedParams[i] && obj != nil {
+			st.set(Ref{Obj: obj}, FactUntrusted, fmt.Sprintf("parameter %q", obj.Name()))
+		}
+	}
+	nres := 0
+	if fn.Decl.Type.Results != nil {
+		for _, f := range fn.Decl.Type.Results.List {
+			n := len(f.Names)
+			if n == 0 {
+				n = 1
+			}
+			nres += n
+		}
+	}
+	w := &walker{
+		t: t, fn: fn, st: st,
+		sanitized: make(map[Ref]bool),
+		sink:      sink, argFacts: argFacts,
+		sites:    make(map[*ast.CallExpr]*CallSite, len(fn.Calls)),
+		nresults: nres,
+		res: &runResult{
+			results:      make([]Fact, nres),
+			resultFields: make([]map[string]Fact, nres),
+		},
+	}
+	for _, site := range fn.Calls {
+		w.sites[site.Call] = site
+	}
+	ast.Inspect(fn.Decl.Body, w.visit)
+	w.res.st = st
+	w.res.sanitized = w.sanitized
+	return w.res
+}
+
+// visit is the pre-order transfer function. ast.Inspect delivers nodes in
+// source order, which is what stands in for dominance here.
+func (w *walker) visit(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.BinaryExpr:
+		w.compare(x)
+	case *ast.AssignStmt:
+		w.assign(x.Lhs, x.Rhs)
+	case *ast.GenDecl:
+		if x.Tok == token.VAR {
+			for _, spec := range x.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, name := range vs.Names {
+					lhs[i] = name
+				}
+				w.assign(lhs, vs.Values)
+			}
+		}
+	case *ast.CallExpr:
+		w.call(x)
+	case *ast.ReturnStmt:
+		w.returnStmt(x)
+	}
+	return true
+}
+
+// compare handles a comparison: operands that are tracked refs (or contain
+// them arithmetically) become bounded, unless the opposing side is the
+// literal 0.
+func (w *walker) compare(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	sides := [2]ast.Expr{b.X, b.Y}
+	for i, side := range sides {
+		if w.isZero(sides[1-i]) {
+			continue
+		}
+		for _, r := range w.gatherRefs(side) {
+			if w.st.sanitize(r) {
+				w.sanitized[Ref{Obj: r.Obj}] = true
+			}
+			w.sanitized[r] = w.sanitized[r] || w.st.get(r) == FactBounded
+		}
+	}
+}
+
+func (w *walker) isZero(e ast.Expr) bool {
+	tv, ok := w.t.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && v == 0
+}
+
+// gatherRefs collects the tracked refs mentioned by an expression, skipping
+// len/cap and other call results (len(b) < k bounds b's length, not the
+// bytes inside b).
+func (w *walker) gatherRefs(e ast.Expr) []Ref {
+	var refs []Ref
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if r, ok := w.refOf(e); ok {
+				refs = append(refs, r)
+			}
+		case *ast.ParenExpr:
+			walk(x.X)
+		case *ast.UnaryExpr:
+			walk(x.X)
+		case *ast.StarExpr:
+			walk(x.X)
+		case *ast.BinaryExpr:
+			walk(x.X)
+			walk(x.Y)
+		case *ast.CallExpr:
+			// Conversions pass the ref through; real calls do not.
+			if tv, ok := w.t.pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				walk(x.Args[0])
+			}
+		}
+	}
+	walk(e)
+	return refs
+}
+
+// refOf resolves an lvalue-ish expression to a tracked ref.
+func (w *walker) refOf(e ast.Expr) (Ref, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.t.pass.ObjectOf(x)
+		if _, ok := obj.(*types.Var); ok {
+			return Ref{Obj: obj}, true
+		}
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			obj := w.t.pass.ObjectOf(id)
+			if _, ok := obj.(*types.Var); ok {
+				return Ref{Obj: obj, Field: x.Sel.Name}, true
+			}
+			return Ref{}, false
+		}
+		if root := RootIdent(x); root != nil {
+			obj := w.t.pass.ObjectOf(root)
+			if _, ok := obj.(*types.Var); ok {
+				return Ref{Obj: obj}, true
+			}
+		}
+	case *ast.StarExpr:
+		return w.refOf(x.X)
+	}
+	return Ref{}, false
+}
+
+// assign applies lhs_i = rhs_i (or the multi-value call form).
+func (w *walker) assign(lhs, rhs []ast.Expr) {
+	if len(lhs) > 1 && len(rhs) == 1 {
+		// Multi-value call: facts come from the callee summary.
+		call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		facts, fields, origin := w.callResults(call)
+		for i, l := range lhs {
+			f, fieldMap := FactNone, map[string]Fact(nil)
+			if i < len(facts) {
+				f = facts[i]
+			}
+			if i < len(fields) {
+				fieldMap = fields[i]
+			}
+			w.assignOne(l, f, fieldMap, origin)
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		f, fieldMap, origin := w.evalWithFields(rhs[i])
+		w.assignOne(l, f, fieldMap, origin)
+	}
+}
+
+func (w *walker) assignOne(l ast.Expr, f Fact, fields map[string]Fact, origin string) {
+	switch x := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+	case *ast.IndexExpr:
+		// b[i] = v: storing an untrusted value taints the container.
+		if f == FactUntrusted {
+			if r, ok := w.refOf(x.X); ok {
+				w.st.set(r, w.st.get(r).join(f), origin)
+			}
+		}
+		return
+	}
+	r, ok := w.refOf(l)
+	if !ok {
+		return
+	}
+	w.st.set(r, f, origin)
+	if r.Field == "" {
+		// Whole-variable overwrite invalidates stale field facts.
+		for fr := range w.st.facts {
+			if fr.Obj == r.Obj && fr.Field != "" {
+				delete(w.st.facts, fr)
+			}
+		}
+		for name, ff := range fields {
+			w.st.set(Ref{Obj: r.Obj, Field: name}, ff, origin)
+		}
+	}
+}
+
+// eval computes the fact of an expression.
+func (w *walker) eval(e ast.Expr) (Fact, string) {
+	f, _, o := w.evalWithFields(e)
+	return f, o
+}
+
+func (w *walker) evalWithFields(e ast.Expr) (Fact, map[string]Fact, string) {
+	switch x := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if r, ok := w.refOf(e); ok {
+			return w.st.get(r), nil, w.st.origin(r)
+		}
+	case *ast.ParenExpr:
+		return w.evalWithFields(x.X)
+	case *ast.StarExpr:
+		return w.evalWithFields(x.X)
+	case *ast.IndexExpr:
+		// An element of an untrusted slice is untrusted.
+		f, _, o := w.evalWithFields(x.X)
+		return f, nil, o
+	case *ast.SliceExpr:
+		f, _, o := w.evalWithFields(x.X)
+		return f, nil, o
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			return FactNone, nil, ""
+		}
+		return w.evalWithFields(x.X)
+	case *ast.TypeAssertExpr:
+		return w.evalWithFields(x.X)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ,
+			token.LAND, token.LOR:
+			return FactNone, nil, ""
+		}
+		fx, _, ox := w.evalWithFields(x.X)
+		fy, _, oy := w.evalWithFields(x.Y)
+		o := ox
+		if fy > fx {
+			o = oy
+		}
+		return fx.join(fy), nil, o
+	case *ast.CompositeLit:
+		joined, fields := FactNone, map[string]Fact{}
+		origin := ""
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				f, o := w.eval(kv.Value)
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					fields[key.Name] = f
+				}
+				if f > joined {
+					joined, origin = f, o
+				}
+				continue
+			}
+			f, o := w.eval(elt)
+			if f > joined {
+				joined, origin = f, o
+			}
+		}
+		return joined, fields, origin
+	case *ast.CallExpr:
+		facts, fields, origin := w.callResults(x)
+		if len(facts) > 0 {
+			var fm map[string]Fact
+			if len(fields) > 0 {
+				fm = fields[0]
+			}
+			return facts[0], fm, origin
+		}
+	}
+	return FactNone, nil, ""
+}
+
+// callResults computes the per-result facts of a call expression.
+func (w *walker) callResults(call *ast.CallExpr) ([]Fact, []map[string]Fact, string) {
+	pass := w.t.pass
+	// Conversion: T(x) passes x's fact through.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			f, fields, o := w.evalWithFields(call.Args[0])
+			return []Fact{f}, []map[string]Fact{fields}, o
+		}
+		return nil, nil, ""
+	}
+	// Integer decodes over untrusted bytes.
+	if name, ok := w.byteOrderDecode(call); ok {
+		if len(call.Args) == 1 {
+			if f, _ := w.eval(call.Args[0]); f == FactUntrusted {
+				return []Fact{FactUntrusted}, nil, name
+			}
+		}
+		return []Fact{FactNone}, nil, ""
+	}
+	// String-to-int parses of untrusted text.
+	if pkg, name := PkgFuncName(pass, call); pkg == "strconv" {
+		switch name {
+		case "Atoi", "ParseInt", "ParseUint", "ParseFloat":
+			if len(call.Args) > 0 {
+				if f, _ := w.eval(call.Args[0]); f == FactUntrusted {
+					return []Fact{FactUntrusted, FactNone}, nil, "strconv." + name
+				}
+			}
+			return []Fact{FactNone, FactNone}, nil, ""
+		}
+	}
+	// Package-local callee: apply its summary.
+	if site, ok := w.sites[call]; ok && site.Callee != nil {
+		return w.localCall(site)
+	}
+	return nil, nil, ""
+}
+
+// byteOrderDecode recognizes binary.LittleEndian.Uint16/32/64 (and the
+// BigEndian twins): the canonical "integer decoded from raw input bytes"
+// source.
+func (w *walker) byteOrderDecode(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Uint16", "Uint32", "Uint64":
+	default:
+		return "", false
+	}
+	t := w.t.pass.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "encoding/binary" {
+		return "", false
+	}
+	return types.ExprString(sel.X) + "." + sel.Sel.Name + " of untrusted bytes", true
+}
+
+// localCall applies a package-local callee's summary: argument facts are
+// reported to the argFacts hook, bound-checking parameters sanitize the
+// caller's argument refs, and result facts derive from whether any argument
+// was untrusted.
+func (w *walker) localCall(site *CallSite) ([]Fact, []map[string]Fact, string) {
+	sum := w.t.summaries[site.Callee]
+	call := site.Call
+	facts := make([]Fact, len(call.Args))
+	anyUntrusted := false
+	origin := ""
+	for i, arg := range call.Args {
+		f, o := w.eval(arg)
+		facts[i] = f
+		if f == FactUntrusted {
+			anyUntrusted = true
+			if origin == "" {
+				origin = o
+			}
+		}
+	}
+	if w.argFacts != nil {
+		w.argFacts(site, facts)
+	}
+	if sum == nil {
+		return nil, nil, ""
+	}
+	for i, arg := range call.Args {
+		if i < len(sum.BoundsParam) && sum.BoundsParam[i] {
+			if r, ok := w.refOf(arg); ok {
+				if w.st.sanitize(r) {
+					w.sanitized[Ref{Obj: r.Obj}] = true
+				}
+			}
+		}
+		if i < len(sum.FillsParam) && sum.FillsParam[i] {
+			if r, ok := w.refOf(arg); ok {
+				w.st.set(r, FactUntrusted, "bytes filled by "+site.Callee.Name())
+			}
+		}
+	}
+	if anyUntrusted {
+		if origin == "" {
+			origin = "untrusted argument"
+		}
+		return sum.Result, sum.ResultField, "result of " + site.Callee.Name() + " (" + origin + ")"
+	}
+	return sum.ResultIndep, sum.ResultFieldIndep, "result of " + site.Callee.Name()
+}
+
+// call applies a call's side effects: external fill sources, allocation
+// sinks, and local-callee effects (the latter also fire via callResults when
+// the call is an expression statement — route through callResults once).
+func (w *walker) call(call *ast.CallExpr) {
+	// Fill sources: bytes read off a reader/conn are untrusted.
+	w.fillEffects(call)
+
+	// Allocation sinks.
+	if w.sink != nil {
+		w.checkSinks(call)
+	}
+
+	// A call to a local helper needs its sanitize/fill effects applied even
+	// as a bare expression statement; localCall is idempotent (assignment
+	// paths run it too via callResults, at worst re-applying the same
+	// facts), and it fires the argFacts hook.
+	if site, ok := w.sites[call]; ok && site.Callee != nil {
+		w.localCall(site)
+	}
+}
+
+// fillEffects marks buffers filled from readers as untrusted.
+func (w *walker) fillEffects(call *ast.CallExpr) {
+	pass := w.t.pass
+	mark := func(arg ast.Expr, desc string) {
+		e := ast.Unparen(arg)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = u.X
+		}
+		if r, ok := w.refOf(e); ok {
+			w.st.set(r, FactUntrusted, desc)
+		} else if sl, ok := e.(*ast.SliceExpr); ok {
+			if r, ok := w.refOf(sl.X); ok {
+				w.st.set(r, FactUntrusted, desc)
+			}
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Read" && len(call.Args) == 1 {
+		// r.Read(p): p now holds input bytes. Applies to any reader-shaped
+		// method (net.Conn, io.Reader, test doubles).
+		if t := pass.TypeOf(call.Args[0]); IsByteSlice(t) {
+			mark(call.Args[0], "bytes read by "+types.ExprString(sel.X)+".Read")
+		}
+		return
+	}
+	for _, name := range []string{"ReadFull", "ReadAtLeast"} {
+		if IsPkgCall(pass, call, "io", name) && len(call.Args) >= 2 {
+			mark(call.Args[1], "bytes read by io."+name)
+			return
+		}
+	}
+	if IsPkgCall(pass, call, "encoding/binary", "Read") && len(call.Args) >= 3 {
+		mark(call.Args[2], "value decoded by binary.Read")
+		return
+	}
+	if IsPkgCall(pass, call, "encoding/json", "Unmarshal") && len(call.Args) >= 2 {
+		mark(call.Args[1], "value decoded by json.Unmarshal")
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Decode" && len(call.Args) == 1 {
+		if IsNamedType(pass.TypeOf(sel.X), "encoding/json", "Decoder") {
+			mark(call.Args[0], "value decoded by json.Decoder.Decode")
+		}
+	}
+}
+
+// checkSinks reports untrusted values reaching allocations.
+func (w *walker) checkSinks(call *ast.CallExpr) {
+	pass := w.t.pass
+	report := func(arg ast.Expr, sinkName string) {
+		f, o := w.eval(arg)
+		if f != FactUntrusted {
+			return
+		}
+		if o == "" {
+			o = "untrusted input"
+		}
+		w.sink(Sink{Pos: arg.Pos(), Call: sinkName, Origin: o})
+	}
+	// Built-in make(T, n[, c]).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" {
+		if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "make" {
+			for _, arg := range call.Args[1:] {
+				report(arg, "make")
+			}
+			return
+		}
+	}
+	// Size-classed pool allocators: a Get/get method on a *Pool type whose
+	// arguments are the requested dimensions.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Get" || sel.Sel.Name == "get") {
+		if t := pass.TypeOf(sel.X); t != nil && strings.Contains(typeName(t), "Pool") {
+			for _, arg := range call.Args {
+				if at := pass.TypeOf(arg); at != nil {
+					if b, ok := at.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+						report(arg, typeName(t)+"."+sel.Sel.Name)
+					}
+				}
+			}
+			return
+		}
+	}
+	// tensor.New(rows, cols): the matrix allocator.
+	if pkg, name := PkgFuncName(pass, call); name == "New" && strings.HasSuffix(pkg, "tensor") {
+		for _, arg := range call.Args {
+			report(arg, "tensor.New")
+		}
+		return
+	}
+	// io.ReadFull/ReadAtLeast into a slice whose cap derives from untrusted
+	// input: buf[:n] with untrusted n.
+	for _, name := range []string{"ReadFull", "ReadAtLeast"} {
+		if IsPkgCall(pass, call, "io", name) && len(call.Args) >= 2 {
+			if sl, ok := ast.Unparen(call.Args[1]).(*ast.SliceExpr); ok {
+				for _, bound := range []ast.Expr{sl.Low, sl.High, sl.Max} {
+					if bound != nil {
+						report(bound, "io."+name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// returnStmt folds return-expression facts into the run's result facts.
+func (w *walker) returnStmt(ret *ast.ReturnStmt) {
+	if len(ret.Results) == 0 {
+		return
+	}
+	if len(ret.Results) == 1 && w.nresults > 1 {
+		// return f() forwarding a multi-value call.
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			facts, fields, _ := w.callResults(call)
+			for i := 0; i < w.nresults && i < len(facts); i++ {
+				w.res.results[i] = w.res.results[i].join(facts[i])
+				if i < len(fields) && fields[i] != nil {
+					w.res.resultFields[i] = joinFieldFacts(w.res.resultFields[i], fields[i])
+				}
+			}
+		}
+		return
+	}
+	for i, e := range ret.Results {
+		if i >= w.nresults {
+			break
+		}
+		f, fields, _ := w.evalWithFields(e)
+		w.res.results[i] = w.res.results[i].join(f)
+		if fields != nil {
+			w.res.resultFields[i] = joinFieldFacts(w.res.resultFields[i], fields)
+		}
+		// A returned ref's recorded per-field facts travel too.
+		if r, ok := w.refOf(e); ok && r.Field == "" {
+			m := map[string]Fact{}
+			for fr, ff := range w.st.facts {
+				if fr.Obj == r.Obj && fr.Field != "" {
+					m[fr.Field] = ff
+				}
+			}
+			if len(m) > 0 {
+				w.res.resultFields[i] = joinFieldFacts(w.res.resultFields[i], m)
+			}
+		}
+	}
+}
+
+func joinFieldFacts(dst, src map[string]Fact) map[string]Fact {
+	if dst == nil {
+		dst = map[string]Fact{}
+	}
+	for k, v := range src {
+		dst[k] = dst[k].join(v)
+	}
+	return dst
+}
+
+// IsByteSlice reports whether t is (an alias of) []byte.
+func IsByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// typeName returns the bare name of a (possibly pointer-to) named type.
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

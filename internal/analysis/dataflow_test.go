@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// typecheckSrc builds a Package from one in-memory file, for engine tests
+// that don't need the go-list loader.
+func typecheckSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Types: pkg, Info: info}
+}
+
+// passFor wraps a typechecked package in a Pass for a throwaway analyzer.
+func passFor(pkg *Package) *Pass {
+	return &Pass{
+		Analyzer:  &Analyzer{Name: "test"},
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+}
+
+func nodeNamed(t *testing.T, cg *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, fn := range cg.Ordered {
+		if fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("no function %q in call graph", name)
+	return nil
+}
+
+// taintAll returns an all-true taint vector sized to fn's parameters.
+func taintAll(pass *Pass, fn *FuncNode) []bool {
+	v := make([]bool, len(paramObjs(pass, fn)))
+	for i := range v {
+		v[i] = true
+	}
+	return v
+}
+
+func sinksIn(t *Taint, fn *FuncNode, tainted []bool) []Sink {
+	var out []Sink
+	t.AnalyzeFunc(fn, tainted, func(s Sink) { out = append(out, s) }, nil)
+	return out
+}
+
+func TestCallGraphResolvesLocalCalls(t *testing.T) {
+	pkg := typecheckSrc(t, `package p
+
+type box struct{ n int }
+
+func (b *box) fill() int { return b.n }
+
+func helper(n int) int { return n + 1 }
+
+func entry(b *box) int {
+	return helper(b.fill())
+}
+`)
+	pass := passFor(pkg)
+	cg := BuildCallGraph(pass)
+	entry := nodeNamed(t, cg, "entry")
+	if len(entry.Calls) != 2 {
+		t.Fatalf("entry has %d call sites, want 2", len(entry.Calls))
+	}
+	for _, site := range entry.Calls {
+		if site.Callee == nil {
+			t.Errorf("call at %v unresolved, want package-local callee", pass.Fset.Position(site.Call.Pos()))
+		}
+	}
+	helper := nodeNamed(t, cg, "helper")
+	if got := len(cg.CallersOf(helper)); got != 1 {
+		t.Errorf("CallersOf(helper) = %d sites, want 1", got)
+	}
+	fill := nodeNamed(t, cg, "box.fill")
+	if got := len(cg.CallersOf(fill)); got != 1 {
+		t.Errorf("CallersOf(box.fill) = %d sites, want 1", got)
+	}
+}
+
+func TestTaintReadToMake(t *testing.T) {
+	pkg := typecheckSrc(t, `package p
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+func unbounded(r io.Reader) []byte {
+	hdr := make([]byte, 8)
+	io.ReadFull(r, hdr)
+	n := binary.LittleEndian.Uint32(hdr)
+	return make([]byte, n)
+}
+
+func bounded(r io.Reader) []byte {
+	hdr := make([]byte, 8)
+	io.ReadFull(r, hdr)
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > 1024 {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func zeroCheckIsNotABound(r io.Reader) []byte {
+	hdr := make([]byte, 8)
+	io.ReadFull(r, hdr)
+	n := binary.LittleEndian.Uint32(hdr)
+	if n == 0 {
+		return nil
+	}
+	return make([]byte, n)
+}
+`)
+	pass := passFor(pkg)
+	cg := BuildCallGraph(pass)
+	eng := NewTaint(pass, cg)
+
+	if got := sinksIn(eng, nodeNamed(t, cg, "unbounded"), nil); len(got) != 1 {
+		t.Errorf("unbounded: %d sinks, want 1 (untrusted n reaches make)", len(got))
+	} else if !strings.Contains(got[0].Origin, "LittleEndian.Uint32") {
+		t.Errorf("unbounded: origin = %q, want a LittleEndian.Uint32 origin", got[0].Origin)
+	}
+	if got := sinksIn(eng, nodeNamed(t, cg, "bounded"), nil); len(got) != 0 {
+		t.Errorf("bounded: %d sinks, want 0 (comparison sanitizes)", len(got))
+	}
+	if got := sinksIn(eng, nodeNamed(t, cg, "zeroCheckIsNotABound"), nil); len(got) != 1 {
+		t.Errorf("zeroCheckIsNotABound: %d sinks, want 1 (n == 0 is not a bound)", len(got))
+	}
+}
+
+func TestSummaryBoundsAndFillsParams(t *testing.T) {
+	pkg := typecheckSrc(t, `package p
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// checkDims bound-checks both parameters (helper-bounds shape).
+func checkDims(rows, cols int) bool {
+	return rows <= 1024 && cols <= 1024
+}
+
+// readInto fills p with input bytes (helper-fills shape).
+func readInto(r io.Reader, p []byte) error {
+	_, err := io.ReadFull(r, p)
+	return err
+}
+
+func viaHelpers(r io.Reader) []byte {
+	hdr := make([]byte, 8)
+	readInto(r, hdr)
+	rows := int(binary.LittleEndian.Uint32(hdr))
+	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if !checkDims(rows, cols) {
+		return nil
+	}
+	return make([]byte, rows*cols)
+}
+`)
+	pass := passFor(pkg)
+	cg := BuildCallGraph(pass)
+	eng := NewTaint(pass, cg)
+
+	check := eng.SummaryOf(nodeNamed(t, cg, "checkDims"))
+	if !check.BoundsParam[0] || !check.BoundsParam[1] {
+		t.Errorf("checkDims summary BoundsParam = %v, want both true", check.BoundsParam)
+	}
+	read := eng.SummaryOf(nodeNamed(t, cg, "readInto"))
+	if read.FillsParam[0] || !read.FillsParam[1] {
+		t.Errorf("readInto summary FillsParam = %v, want [false true]", read.FillsParam)
+	}
+	if got := sinksIn(eng, nodeNamed(t, cg, "viaHelpers"), nil); len(got) != 0 {
+		t.Errorf("viaHelpers: %d sinks, want 0 (depth-1 summaries sanitize)", len(got))
+	}
+}
+
+func TestFieldSensitiveStructResults(t *testing.T) {
+	pkg := typecheckSrc(t, `package p
+
+import "encoding/binary"
+
+type header struct {
+	length int
+	sum    uint64
+}
+
+// parse bounds length but not sum, mirroring the wire frame header parser.
+func parse(data []byte) (header, bool) {
+	n := int(binary.LittleEndian.Uint32(data))
+	if n > 4096 {
+		return header{}, false
+	}
+	return header{length: n, sum: binary.LittleEndian.Uint64(data[4:])}, true
+}
+
+func useLength(data []byte) []byte {
+	h, ok := parse(data)
+	if !ok {
+		return nil
+	}
+	return make([]byte, h.length)
+}
+
+func useSum(data []byte) []byte {
+	h, ok := parse(data)
+	if !ok {
+		return nil
+	}
+	return make([]byte, h.sum)
+}
+`)
+	pass := passFor(pkg)
+	cg := BuildCallGraph(pass)
+	eng := NewTaint(pass, cg)
+
+	useLength := nodeNamed(t, cg, "useLength")
+	if got := sinksIn(eng, useLength, taintAll(pass, useLength)); len(got) != 0 {
+		t.Errorf("useLength: %d sinks, want 0 (h.length is bounded in parse)", len(got))
+	}
+	useSum := nodeNamed(t, cg, "useSum")
+	if got := sinksIn(eng, useSum, taintAll(pass, useSum)); len(got) != 1 {
+		t.Errorf("useSum: %d sinks, want 1 (h.sum is never bounded)", len(got))
+	}
+}
+
+func TestArgFactsHookSeesUntrustedArgs(t *testing.T) {
+	pkg := typecheckSrc(t, `package p
+
+func alloc(n int) []byte { return make([]byte, n) }
+
+func entry(n int) []byte { return alloc(n) }
+`)
+	pass := passFor(pkg)
+	cg := BuildCallGraph(pass)
+	eng := NewTaint(pass, cg)
+
+	entry := nodeNamed(t, cg, "entry")
+	var seen []Fact
+	eng.AnalyzeFunc(entry, taintAll(pass, entry), nil, func(site *CallSite, facts []Fact) {
+		if site.Callee != nil && site.Callee.Name() == "alloc" {
+			seen = facts
+		}
+	})
+	if len(seen) != 1 || seen[0] != FactUntrusted {
+		t.Errorf("argFacts for alloc = %v, want [FactUntrusted]", seen)
+	}
+
+	// And the untrusted caller argument makes the sink inside alloc fire
+	// when the callee is re-analyzed with caller taint.
+	alloc := nodeNamed(t, cg, "alloc")
+	if got := sinksIn(eng, alloc, []bool{true}); len(got) != 1 {
+		t.Errorf("alloc with tainted param: %d sinks, want 1", len(got))
+	}
+	if got := sinksIn(eng, alloc, []bool{false}); len(got) != 0 {
+		t.Errorf("alloc with clean param: %d sinks, want 0", len(got))
+	}
+}
+
+func TestPoolGetSink(t *testing.T) {
+	pkg := typecheckSrc(t, `package p
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+type MatrixPool struct{}
+
+func (p *MatrixPool) Get(rows, cols int) []float32 { return nil }
+
+func fromWire(r io.Reader, pool *MatrixPool) []float32 {
+	hdr := make([]byte, 8)
+	io.ReadFull(r, hdr)
+	rows := int(binary.LittleEndian.Uint32(hdr))
+	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
+	return pool.Get(rows, cols)
+}
+`)
+	pass := passFor(pkg)
+	cg := BuildCallGraph(pass)
+	eng := NewTaint(pass, cg)
+
+	if got := sinksIn(eng, nodeNamed(t, cg, "fromWire"), nil); len(got) != 2 {
+		t.Errorf("fromWire: %d sinks, want 2 (rows and cols both reach MatrixPool.Get)", len(got))
+	}
+}

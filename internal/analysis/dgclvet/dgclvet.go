@@ -9,26 +9,40 @@
 package dgclvet
 
 import (
+	"encoding/json"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"dgcl/internal/analysis"
+	"dgcl/internal/analysis/boundcheck"
 	"dgcl/internal/analysis/ctxbound"
+	"dgcl/internal/analysis/errtaxon"
 	"dgcl/internal/analysis/errwrap"
 	"dgcl/internal/analysis/floatorder"
 	"dgcl/internal/analysis/goleaklite"
+	"dgcl/internal/analysis/lockdisc"
 	"dgcl/internal/analysis/mapdet"
+	"dgcl/internal/analysis/poolown"
 )
 
 // Analyzers is the full suite, in report order.
 var Analyzers = []*analysis.Analyzer{
+	boundcheck.Analyzer,
 	ctxbound.Analyzer,
+	errtaxon.Analyzer,
 	errwrap.Analyzer,
 	floatorder.Analyzer,
 	goleaklite.Analyzer,
+	lockdisc.Analyzer,
 	mapdet.Analyzer,
+	poolown.Analyzer,
 }
 
 // Exit codes of Main, mirroring the x/tools multichecker convention.
@@ -71,17 +85,70 @@ func Names() []string {
 	return names
 }
 
+// A Finding is one diagnostic in machine-readable form, as emitted by the
+// -json flag and as stored in the baseline file.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// baselineKey identifies a finding for baseline matching. Line and column are
+// deliberately excluded: unrelated edits shift positions, and a baseline that
+// churns on every diff trains people to regenerate it blindly.
+type baselineKey struct {
+	File     string
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) key() baselineKey {
+	return baselineKey{File: filepath.ToSlash(f.File), Analyzer: f.Analyzer, Message: f.Message}
+}
+
+// Options configures a driver run.
+type Options struct {
+	// JSON emits findings as a JSON array of Finding instead of the
+	// "file:line:col: analyzer: message" text lines.
+	JSON bool
+	// Baseline is the path of a committed JSON baseline (an array of
+	// Finding). Findings matching a baseline entry on (file, analyzer,
+	// message) are reported but do not affect the exit code, so CI fails
+	// on NEW findings only. Empty means no baseline.
+	Baseline string
+}
+
 // Main loads the packages matched by patterns (relative to dir), runs each
 // selected analyzer over the packages it applies to, prints findings to w as
-// "file:line:col: analyzer: message", and returns the exit code.
+// "file:line:col: analyzer: message", and returns the exit code. It is
+// Run with zero Options.
 func Main(dir string, patterns []string, analyzers []*analysis.Analyzer, w io.Writer) int {
+	return Run(dir, patterns, analyzers, Options{}, w)
+}
+
+// Run is Main with explicit Options.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, opts Options, w io.Writer) int {
+	baseline, err := loadBaseline(opts.Baseline)
+	if err != nil {
+		fmt.Fprintf(w, "dgclvet: %v\n", err)
+		return ExitLoadError
+	}
 	pkgs, err := analysis.DefaultLoader().Load(dir, patterns...)
 	if err != nil {
 		fmt.Fprintf(w, "dgclvet: %v\n", err)
 		return ExitLoadError
 	}
 	exit := ExitClean
+	absDir, absErr := filepath.Abs(dir)
+	var findings []Finding
 	for _, pkg := range pkgs {
+		if pkg.LoadErr != "" {
+			fmt.Fprintf(w, "dgclvet: %s: %s\n", pkg.Path, pkg.LoadErr)
+			exit = ExitLoadError
+			continue
+		}
 		if len(pkg.TypeErrors) > 0 {
 			for _, te := range pkg.TypeErrors {
 				fmt.Fprintf(w, "dgclvet: %s: %v\n", pkg.Path, te)
@@ -105,11 +172,171 @@ func Main(dir string, patterns []string, analyzers []*analysis.Analyzer, w io.Wr
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
-			fmt.Fprintf(w, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
-			if exit == ExitClean {
+			f := Finding{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			}
+			if absErr == nil {
+				if rel, err := filepath.Rel(absDir, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+					f.File = filepath.ToSlash(rel)
+				}
+			}
+			findings = append(findings, f)
+			if !baseline[f.key()] && exit == ExitClean {
 				exit = ExitFindings
 			}
 		}
 	}
+	if opts.JSON {
+		if findings == nil {
+			findings = []Finding{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(w, "dgclvet: %v\n", err)
+			return ExitLoadError
+		}
+		return exit
+	}
+	for _, f := range findings {
+		suffix := ""
+		if baseline[f.key()] {
+			suffix = " (baselined)"
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s%s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message, suffix)
+	}
 	return exit
+}
+
+// loadBaseline reads a baseline file into a match set. A missing path is an
+// error — a typo'd -baseline silently accepting every finding would defeat
+// the gate.
+func loadBaseline(path string) (map[baselineKey]bool, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var entries []Finding
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	set := make(map[baselineKey]bool, len(entries))
+	for _, e := range entries {
+		set[e.key()] = true
+	}
+	return set, nil
+}
+
+// An Ignore is one //dgclvet:ignore directive found in the tree.
+type Ignore struct {
+	File          string
+	Line          int
+	Analyzers     []string
+	Justification string
+}
+
+// Ignores walks every .go file under dir (testdata and .git excluded,
+// _test.go files included — directives rot there too), prints each
+// //dgclvet:ignore directive with its justification, and audits them: a
+// directive naming an analyzer not in the suite, or carrying no
+// justification, is a finding. This keeps suppressions honest — an ignore
+// for a renamed or deleted analyzer is dead weight that hides the next real
+// finding on that line.
+func Ignores(dir string, analyzers []*analysis.Analyzer, w io.Writer) int {
+	known := make(map[string]bool, len(analyzers)+1)
+	known["all"] = true
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	ignores, err := collectIgnores(dir)
+	if err != nil {
+		fmt.Fprintf(w, "dgclvet: %v\n", err)
+		return ExitLoadError
+	}
+	exit := ExitClean
+	for _, ig := range ignores {
+		fmt.Fprintf(w, "%s:%d: ignore %s: %s\n",
+			ig.File, ig.Line, strings.Join(ig.Analyzers, ","), ig.Justification)
+		for _, name := range ig.Analyzers {
+			if !known[name] {
+				fmt.Fprintf(w, "%s:%d: stale suppression: no analyzer named %q in the suite\n",
+					ig.File, ig.Line, name)
+				exit = ExitFindings
+			}
+		}
+		if ig.Justification == "" {
+			fmt.Fprintf(w, "%s:%d: suppression without justification\n", ig.File, ig.Line)
+			exit = ExitFindings
+		}
+	}
+	fmt.Fprintf(w, "%d ignore directives\n", len(ignores))
+	return exit
+}
+
+// collectIgnores parses every .go file under dir — directly, not via the
+// loader — so it also covers _test.go files and packages excluded from the
+// current build. Parsing (rather than a textual grep) is what keeps prose
+// mentions of the directive in doc comments and string literals out of the
+// report: only a comment whose own text starts with the directive counts,
+// exactly the condition Package.Run suppresses on.
+func collectIgnores(dir string) ([]Ignore, error) {
+	var out []Ignore
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil {
+			rel = path
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, analysis.IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, analysis.IgnoreDirective))
+				ig := Ignore{
+					File: filepath.ToSlash(rel), Line: fset.Position(c.Pos()).Line,
+					Analyzers: []string{"all"},
+				}
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					ig.Analyzers = strings.Split(fields[0], ",")
+					ig.Justification = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+				}
+				out = append(out, ig)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
 }

@@ -9,8 +9,8 @@ import (
 )
 
 func TestSuiteRegistered(t *testing.T) {
-	if len(Analyzers) != 5 {
-		t.Fatalf("suite has %d analyzers, want 5", len(Analyzers))
+	if len(Analyzers) != 9 {
+		t.Fatalf("suite has %d analyzers, want 9", len(Analyzers))
 	}
 	seen := map[string]bool{}
 	for _, a := range Analyzers {
@@ -22,7 +22,10 @@ func TestSuiteRegistered(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"mapdet", "floatorder", "ctxbound", "goleaklite", "errwrap"} {
+	for _, want := range []string{
+		"boundcheck", "ctxbound", "errtaxon", "errwrap", "floatorder",
+		"goleaklite", "lockdisc", "mapdet", "poolown",
+	} {
 		if !seen[want] {
 			t.Errorf("analyzer %q not registered", want)
 		}

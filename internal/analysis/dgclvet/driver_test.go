@@ -1,0 +1,206 @@
+package dgclvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -json must emit a parseable array of findings with stable fields.
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	code := Run(".", []string{"./testdata/src/bad"}, Analyzers, Options{JSON: true}, &out)
+	if code != ExitFindings {
+		t.Fatalf("Run = %d, want %d; output:\n%s", code, ExitFindings, out.String())
+	}
+	var findings []Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON finding array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON run on the bad fixture produced zero findings")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding file %q is absolute; want repo-relative for a portable baseline", f.File)
+		}
+	}
+}
+
+// A clean JSON run must print an empty array, not "null" — downstream jq in
+// CI iterates the array unconditionally.
+func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+	var out bytes.Buffer
+	code := Run(".", []string{"./testdata/src/clean"}, Analyzers, Options{JSON: true}, &out)
+	if code != ExitClean {
+		t.Fatalf("Run on clean fixture = %d, want %d; output:\n%s", code, ExitClean, out.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("clean JSON output = %q, want []", got)
+	}
+}
+
+// Baselined findings are still printed but do not fail the run; a finding
+// NOT in the baseline still does.
+func TestRunBaseline(t *testing.T) {
+	var jsonOut bytes.Buffer
+	if code := Run(".", []string{"./testdata/src/bad"}, Analyzers, Options{JSON: true}, &jsonOut); code != ExitFindings {
+		t.Fatalf("seed run = %d, want %d", code, ExitFindings)
+	}
+	var findings []Finding
+	if err := json.Unmarshal(jsonOut.Bytes(), &findings); err != nil {
+		t.Fatal(err)
+	}
+
+	full := writeBaseline(t, findings)
+	var out bytes.Buffer
+	if code := Run(".", []string{"./testdata/src/bad"}, Analyzers, Options{Baseline: full}, &out); code != ExitClean {
+		t.Fatalf("fully-baselined run = %d, want %d; output:\n%s", code, ExitClean, out.String())
+	}
+	if !strings.Contains(out.String(), "(baselined)") {
+		t.Fatalf("baselined findings not annotated in text output:\n%s", out.String())
+	}
+
+	partial := writeBaseline(t, findings[:len(findings)-1])
+	out.Reset()
+	if code := Run(".", []string{"./testdata/src/bad"}, Analyzers, Options{Baseline: partial}, &out); code != ExitFindings {
+		t.Fatalf("partially-baselined run = %d, want %d (the new finding must fail)", code, ExitFindings)
+	}
+}
+
+// Baseline matching ignores line numbers: the same finding shifted by an
+// unrelated edit must still match.
+func TestBaselineIgnoresLineNumbers(t *testing.T) {
+	var jsonOut bytes.Buffer
+	Run(".", []string{"./testdata/src/bad"}, Analyzers, Options{JSON: true}, &jsonOut)
+	var findings []Finding
+	if err := json.Unmarshal(jsonOut.Bytes(), &findings); err != nil {
+		t.Fatal(err)
+	}
+	for i := range findings {
+		findings[i].Line += 100
+		findings[i].Col = 1
+	}
+	shifted := writeBaseline(t, findings)
+	var out bytes.Buffer
+	if code := Run(".", []string{"./testdata/src/bad"}, Analyzers, Options{Baseline: shifted}, &out); code != ExitClean {
+		t.Fatalf("line-shifted baseline did not match: exit %d\n%s", code, out.String())
+	}
+}
+
+// A missing baseline file is a hard error, not a silent no-op gate.
+func TestMissingBaselineIsLoadError(t *testing.T) {
+	var out bytes.Buffer
+	code := Run(".", []string{"./testdata/src/bad"}, Analyzers, Options{Baseline: "no/such/baseline.json"}, &out)
+	if code != ExitLoadError {
+		t.Fatalf("Run with missing baseline = %d, want %d", code, ExitLoadError)
+	}
+}
+
+// The committed baseline must be empty: the tree is clean, and any finding a
+// PR introduces must fail CI rather than ride in via a pre-populated file.
+func TestCommittedBaselineIsEmpty(t *testing.T) {
+	root := moduleRoot(t)
+	data, err := os.ReadFile(filepath.Join(root, ".github", "dgclvet-baseline.json"))
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var entries []Finding
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("committed baseline is not a JSON finding array: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("committed baseline has %d entries, want 0", len(entries))
+	}
+}
+
+// The ignores audit lists every directive in the real tree and passes: each
+// names a live analyzer and carries a justification.
+func TestIgnoresAuditOnTree(t *testing.T) {
+	var out bytes.Buffer
+	code := Ignores(moduleRoot(t), Analyzers, &out)
+	if code != ExitClean {
+		t.Fatalf("ignores audit failed (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ignore directives") {
+		t.Fatalf("audit printed no summary:\n%s", out.String())
+	}
+}
+
+// Stale analyzer names and missing justifications must fail the audit.
+func TestIgnoresAuditRejectsStaleAndBare(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+func f() {
+	_ = 1 //dgclvet:ignore nosuchanalyzer historical reasons
+	_ = 2 //dgclvet:ignore mapdet
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := Ignores(dir, Analyzers, &out); code != ExitFindings {
+		t.Fatalf("audit of stale/bare ignores = %d, want %d:\n%s", code, ExitFindings, out.String())
+	}
+	if !strings.Contains(out.String(), "stale suppression") {
+		t.Errorf("stale analyzer name not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "without justification") {
+		t.Errorf("missing justification not reported:\n%s", out.String())
+	}
+}
+
+// The ignores audit must not descend into testdata — fixtures use directives
+// in ways the audit would reject.
+func TestIgnoresSkipsTestdata(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "testdata")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bad := "package p\n\nvar x = 1 //dgclvet:ignore bogus\n"
+	if err := os.WriteFile(filepath.Join(sub, "p.go"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := Ignores(dir, Analyzers, &out); code != ExitClean {
+		t.Fatalf("audit descended into testdata (exit %d):\n%s", code, out.String())
+	}
+}
+
+// A broken package pattern must surface as a per-package load diagnostic —
+// naming the pattern — while other packages in the same run still analyze.
+func TestLoadErrorIsPerPackage(t *testing.T) {
+	var out bytes.Buffer
+	code := Main(".", []string{"./testdata/src/bad", "./no/such/dir"}, Analyzers, &out)
+	if code != ExitLoadError {
+		t.Fatalf("Main with one bad pattern = %d, want %d:\n%s", code, ExitLoadError, out.String())
+	}
+	if !strings.Contains(out.String(), "no/such/dir") {
+		t.Fatalf("load error does not name the bad pattern:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "mapdet") {
+		t.Fatalf("good package was not analyzed alongside the bad pattern:\n%s", out.String())
+	}
+}
+
+func writeBaseline(t *testing.T, findings []Finding) string {
+	t.Helper()
+	data, err := json.Marshal(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

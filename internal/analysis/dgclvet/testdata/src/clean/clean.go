@@ -1,0 +1,16 @@
+// Package clean is a driver fixture with no violations, used to prove clean
+// runs exit 0 and -json prints an empty array rather than null.
+package clean
+
+import "sort"
+
+// Keys returns map keys in sorted order — the sanctioned collect-then-sort
+// pattern.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,186 @@
+// Package errtaxon implements the dgclvet analyzer that enforces the error
+// taxonomy discipline: typed sentinels (ErrOverload, ErrDeviceDown,
+// errLinkDown) and structured error types (DeviceDownError,
+// CollectiveError) must be matched with errors.Is/errors.As, never with
+// ==/!= or a type assertion/switch.
+//
+// The failure-semantics contract wraps every error with per-GPU context
+// ("runtime: GPU 3 send: ...: device down") as it crosses a layer. A
+// direct == against a sentinel or a direct type assertion silently stops
+// matching the moment anyone adds a wrapping layer — the bug class where
+// failover works in the unit test and misses in the full stack. The rules:
+//
+//   - E1: ==/!= between two error-typed operands is flagged unless one
+//     side is nil (the universal "did it fail" check).
+//   - E2: a type assertion err.(T) from an error interface to a concrete
+//     error type is flagged; asserting to another *interface* (err.(net.
+//     Error)) stays legal — errors.As handles interfaces poorly and the
+//     stdlib itself blesses the pattern.
+//   - E3: a type switch over an error-typed operand with concrete error
+//     case types is flagged, one report per offending case.
+//
+// Exemption: the bodies of Is/As methods — an `Is(target error) bool`
+// implementation is exactly where == against a sentinel belongs.
+package errtaxon
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dgcl/internal/analysis"
+)
+
+// Analyzer is the errtaxon analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errtaxon",
+	Doc: "flags error sentinels and typed errors matched with ==, type " +
+		"assertions, or type switches instead of errors.Is/errors.As",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "Is" || fd.Name.Name == "As" {
+				// An Is/As method body is where direct matching belongs.
+				continue
+			}
+			check(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			checkComparison(pass, x)
+		case *ast.TypeAssertExpr:
+			checkAssert(pass, x)
+		case *ast.TypeSwitchStmt:
+			checkTypeSwitch(pass, x)
+			// The implicit assertions inside are reported per-case above;
+			// don't also fire E2 on the Assign clause.
+			for _, cl := range x.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					for _, s := range cc.Body {
+						check(pass, &ast.BlockStmt{List: []ast.Stmt{s}})
+					}
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// checkComparison is E1.
+func checkComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isNil(pass, b.X) || isNil(pass, b.Y) {
+		return
+	}
+	if !isErrorish(pass.TypeOf(b.X)) || !isErrorish(pass.TypeOf(b.Y)) {
+		return
+	}
+	op, fix := "==", "errors.Is(err, sentinel)"
+	if b.Op == token.NEQ {
+		op = "!="
+	}
+	pass.Reportf(b.OpPos,
+		"error compared with %s; one wrapping layer breaks this match — use %s",
+		op, fix)
+}
+
+// checkAssert is E2.
+func checkAssert(pass *analysis.Pass, x *ast.TypeAssertExpr) {
+	if x.Type == nil {
+		return // the type-switch guard, handled by checkTypeSwitch
+	}
+	from := pass.TypeOf(x.X)
+	to := pass.TypeOf(x.Type)
+	if !isErrorInterface(from) || to == nil {
+		return
+	}
+	if types.IsInterface(to) {
+		return // err.(net.Error) and friends stay legal
+	}
+	if !implementsError(to) {
+		return
+	}
+	pass.Reportf(x.Pos(),
+		"error type-asserted to %s; one wrapping layer breaks this match — "+
+			"use errors.As(err, &target)", types.TypeString(to, types.RelativeTo(pass.Pkg)))
+}
+
+// checkTypeSwitch is E3.
+func checkTypeSwitch(pass *analysis.Pass, x *ast.TypeSwitchStmt) {
+	// Extract the switched-on expression: `switch v := err.(type)` or
+	// `switch err.(type)`.
+	var operand ast.Expr
+	switch a := x.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				operand = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			operand = ta.X
+		}
+	}
+	if operand == nil || !isErrorInterface(pass.TypeOf(operand)) {
+		return
+	}
+	for _, cl := range x.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, typeExpr := range cc.List {
+			t := pass.TypeOf(typeExpr)
+			if t == nil || types.IsInterface(t) || !implementsError(t) {
+				continue
+			}
+			if id, ok := typeExpr.(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			pass.Reportf(typeExpr.Pos(),
+				"type switch matches error case %s; one wrapping layer breaks this "+
+					"match — use errors.As(err, &target)",
+				types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// isErrorish reports whether t is an interface type that implements error
+// (the error interface itself or a superset). Concrete error types compared
+// with == are pointer-identity checks, which may be intentional; the
+// sentinel-matching bug class needs an interface on both sides.
+func isErrorish(t types.Type) bool {
+	return t != nil && types.IsInterface(t) && implementsError(t)
+}
+
+// isErrorInterface reports whether t is an error-implementing interface —
+// the "we don't know the concrete type yet" shape assertions start from.
+func isErrorInterface(t types.Type) bool { return isErrorish(t) }
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

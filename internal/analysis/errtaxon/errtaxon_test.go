@@ -1,0 +1,12 @@
+package errtaxon_test
+
+import (
+	"testing"
+
+	"dgcl/internal/analysis/analysistest"
+	"dgcl/internal/analysis/errtaxon"
+)
+
+func TestErrtaxon(t *testing.T) {
+	analysistest.Run(t, errtaxon.Analyzer, "a")
+}

@@ -1,0 +1,113 @@
+// Positive and negative corpus for errtaxon: lines with `want` comments
+// must be flagged, lines without must stay silent.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// ErrOverload mirrors the serve admission sentinel.
+var ErrOverload = errors.New("overloaded")
+
+// DeviceDownError mirrors the runtime's structured failure type.
+type DeviceDownError struct{ Device int }
+
+func (e *DeviceDownError) Error() string { return fmt.Sprintf("device %d down", e.Device) }
+
+// sentinelEquality is E1.
+func sentinelEquality(err error) bool {
+	return err == ErrOverload // want "error compared with ==; one wrapping layer breaks this match"
+}
+
+// sentinelInequality is E1 with !=.
+func sentinelInequality(err error) bool {
+	if err != io.EOF { // want "error compared with !=; one wrapping layer breaks this match"
+		return true
+	}
+	return false
+}
+
+// nilChecksAreLegal: the universal "did it fail" comparison.
+func nilChecksAreLegal(err error) bool {
+	if err == nil {
+		return true
+	}
+	return err != nil
+}
+
+// errorsIsIsTheFix is the blessed form.
+func errorsIsIsTheFix(err error) bool {
+	return errors.Is(err, ErrOverload)
+}
+
+// concreteAssertion is E2.
+func concreteAssertion(err error) int {
+	if dde, ok := err.(*DeviceDownError); ok { // want "error type-asserted to \\*DeviceDownError"
+		return dde.Device
+	}
+	return -1
+}
+
+// interfaceAssertionIsLegal: err.(net.Error) asserts to an interface, the
+// pattern the stdlib itself blesses for timeouts.
+func interfaceAssertionIsLegal(err error) bool {
+	if ne, ok := err.(net.Error); ok {
+		return ne.Timeout()
+	}
+	return false
+}
+
+// errorsAsIsTheFix is the blessed form.
+func errorsAsIsTheFix(err error) int {
+	var dde *DeviceDownError
+	if errors.As(err, &dde) {
+		return dde.Device
+	}
+	return -1
+}
+
+// typeSwitchOnError is E3, one report per concrete error case.
+func typeSwitchOnError(err error) int {
+	switch e := err.(type) {
+	case *DeviceDownError: // want "type switch matches error case \\*DeviceDownError"
+		return e.Device
+	case net.Error:
+		return -2
+	case nil:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// typeSwitchOnNonError: switching over a plain interface{} is not error
+// matching.
+func typeSwitchOnNonError(v interface{}) int {
+	switch v.(type) {
+	case *DeviceDownError:
+		return 1
+	case string:
+		return 2
+	}
+	return 0
+}
+
+// overloadError carries a temporary-overload signal.
+type overloadError struct{}
+
+func (overloadError) Error() string { return "overload" }
+
+// Is implements the errors.Is contract: direct == belongs here and is
+// exempt.
+func (overloadError) Is(target error) bool {
+	return target == ErrOverload
+}
+
+// comparingConcretePointers: both sides concrete — pointer identity, which
+// may be intentional; errtaxon only polices interface matching.
+func comparingConcretePointers(a, b *DeviceDownError) bool {
+	return a == b
+}

@@ -1,0 +1,469 @@
+// Package lockdisc implements the dgclvet analyzer that keeps blocking
+// operations out of mutex critical sections in the collective hot path
+// (runtime, wire transport, serve).
+//
+// A goroutine that blocks while holding a sync.Mutex/RWMutex stalls every
+// other goroutine contending for that lock: with one goroutine per GPU
+// over shared transports, one blocked send under a lock serializes the
+// whole collective — or deadlocks it, when the unblocking party needs the
+// same lock. The rules, per function:
+//
+//   - L1: no channel send or receive while a mutex is held.
+//   - L2: no select without a default case while a mutex is held (a
+//     default-select is non-blocking and exempt; the select is reported
+//     once, not each of its cases).
+//   - L3: no net.Conn read/write (any SetReadDeadline-bearing type,
+//     directly or via io.ReadFull/ReadAtLeast) and no time.Sleep or
+//     sync.WaitGroup.Wait while a mutex is held.
+//   - L4: no call to a package-local function that itself blocks (one
+//     call deep, using the call graph).
+//
+// sync.Cond.Wait is exempt — it releases the lock while waiting, that is
+// its contract. Function literals are separate analysis units with an
+// empty held-set: a goroutine or deferred closure does not run under the
+// spawner's critical section (the cost: a closure invoked inline while a
+// lock is held is a blind spot, documented in DESIGN.md §14).
+//
+// The walk tracks the held-set structurally: Lock/RLock adds, Unlock/
+// RUnlock removes, `defer x.Unlock()` holds to function exit, and branches
+// merge on the intersection (a lock is "held" after a join only if every
+// fall-through path held it), so unlock-before-select shapes analyze
+// cleanly.
+package lockdisc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"dgcl/internal/analysis"
+)
+
+// Analyzer is the lockdisc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdisc",
+	Doc: "flags mutexes held across blocking operations (channel ops, " +
+		"selects without default, socket I/O, sleeps, WaitGroup waits, and " +
+		"calls to local functions that block)",
+	AppliesTo: func(pkgPath string) bool {
+		switch pkgPath {
+		case "dgcl/internal/runtime", "dgcl/internal/comm/wire",
+			"dgcl/internal/serve":
+			return true
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	cg := analysis.BuildCallGraph(pass)
+	// Depth-1 summaries: which local functions directly block.
+	blocks := make(map[*analysis.FuncNode]bool, len(cg.Ordered))
+	for _, fn := range cg.Ordered {
+		blocks[fn] = directlyBlocks(pass, fn.Decl.Body)
+	}
+	for _, fn := range cg.Ordered {
+		c := &checker{pass: pass, cg: cg, blocks: blocks}
+		c.walkStmts(fn.Decl.Body.List, held{})
+	}
+	return nil
+}
+
+// held is the set of mutexes currently held, keyed by the lock expression's
+// printed form ("l.wmu", "s.mu").
+type held map[string]bool
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	cg     *analysis.CallGraph
+	blocks map[*analysis.FuncNode]bool
+}
+
+func (c *checker) walkStmts(stmts []ast.Stmt, h held) {
+	for _, s := range stmts {
+		c.walkStmt(s, h)
+	}
+}
+
+func (c *checker) walkStmt(s ast.Stmt, h held) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		c.expr(x.X, h)
+	case *ast.SendStmt:
+		c.blocking(x.Pos(), "a channel send", h)
+		c.expr(x.Chan, h)
+		c.expr(x.Value, h)
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			c.expr(r, h)
+		}
+		for _, l := range x.Lhs {
+			c.expr(l, h)
+		}
+	case *ast.DeferStmt:
+		// defer x.Unlock() pins the lock to function exit: no state change.
+		// Other deferred calls run at exit, outside this critical section —
+		// only their argument evaluation happens here, and a deferred
+		// closure body is a separate unit.
+		if name, op := c.lockOp(x.Call); name != "" && (op == "Unlock" || op == "RUnlock") {
+			return
+		}
+		c.spawnedCall(x.Call, h)
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold this goroutine's locks: only
+		// argument evaluation runs here; the closure body is a separate
+		// unit with an empty held-set.
+		c.spawnedCall(x.Call, h)
+	case *ast.DeclStmt:
+		c.expr(x, h)
+	case *ast.BlockStmt:
+		c.walkStmts(x.List, h)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, h)
+		}
+		c.expr(x.Cond, h)
+		thenH := h.clone()
+		c.walkStmts(x.Body.List, thenH)
+		elseH := h.clone()
+		if x.Else != nil {
+			c.walkStmt(x.Else, elseH)
+		}
+		c.mergeIntersect(h, branch{thenH, terminates(x.Body)}, branch{elseH, x.Else != nil && stmtTerminates(x.Else)})
+	case *ast.ForStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, h)
+		}
+		if x.Cond != nil {
+			c.expr(x.Cond, h)
+		}
+		bodyH := h.clone()
+		c.walkStmts(x.Body.List, bodyH)
+		if x.Post != nil {
+			c.walkStmt(x.Post, bodyH)
+		}
+	case *ast.RangeStmt:
+		c.expr(x.X, h)
+		bodyH := h.clone()
+		c.walkStmts(x.Body.List, bodyH)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, h)
+		}
+		if x.Tag != nil {
+			c.expr(x.Tag, h)
+		}
+		c.walkCases(x.Body, h)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, h)
+		}
+		c.walkCases(x.Body, h)
+	case *ast.SelectStmt:
+		if !hasDefault(x.Body) {
+			c.blocking(x.Pos(), "a select without a default case", h)
+		}
+		// The comm clauses themselves are the select's blocking points,
+		// already covered above; walk only the case bodies.
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				caseH := h.clone()
+				c.walkStmts(cc.Body, caseH)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			c.expr(r, h)
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(x.Stmt, h)
+	}
+}
+
+type branch struct {
+	h          held
+	terminates bool
+}
+
+// mergeIntersect keeps a lock held after a join only when every
+// fall-through branch held it, and adopts locks acquired on all
+// fall-through branches.
+func (c *checker) mergeIntersect(h held, branches ...branch) {
+	live := branches[:0]
+	for _, b := range branches {
+		if !b.terminates {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	keys := map[string]bool{}
+	for k := range h {
+		keys[k] = true
+	}
+	for _, b := range live {
+		for k := range b.h {
+			keys[k] = true
+		}
+	}
+	for k := range keys {
+		all := true
+		for _, b := range live {
+			if !b.h[k] {
+				all = false
+				break
+			}
+		}
+		if all {
+			h[k] = true
+		} else {
+			delete(h, k)
+		}
+	}
+}
+
+func (c *checker) walkCases(body *ast.BlockStmt, h held) {
+	var branches []branch
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			caseH := h.clone()
+			for _, e := range cc.List {
+				c.expr(e, caseH)
+			}
+			c.walkStmts(cc.Body, caseH)
+			branches = append(branches, branch{caseH, listTerminates(cc.Body)})
+		}
+	}
+	if len(branches) > 0 {
+		c.mergeIntersect(h, branches...)
+	}
+}
+
+// spawnedCall handles a go/defer call: arguments are evaluated now (under
+// the current held-set), the call itself runs on another goroutine or at
+// function exit, and a function-literal body is its own unit.
+func (c *checker) spawnedCall(call *ast.CallExpr, h held) {
+	for _, arg := range call.Args {
+		c.expr(arg, h)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		c.walkStmts(lit.Body.List, held{})
+	}
+}
+
+// expr inspects an expression (or small statement) for lock transitions,
+// blocking operations, and nested function literals.
+func (c *checker) expr(e ast.Node, h held) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Separate unit, empty held-set.
+			c.walkStmts(x.Body.List, held{})
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c.blocking(x.Pos(), "a channel receive", h)
+			}
+		case *ast.CallExpr:
+			c.call(x, h)
+		}
+		return true
+	})
+}
+
+// call handles lock transitions and blocking calls.
+func (c *checker) call(call *ast.CallExpr, h held) {
+	if name, op := c.lockOp(call); name != "" {
+		switch op {
+		case "Lock", "RLock":
+			h[name] = true
+		case "Unlock", "RUnlock":
+			delete(h, name)
+		}
+		return
+	}
+	if len(h) == 0 {
+		return
+	}
+	if desc := c.blockingCall(call); desc != "" {
+		c.blocking(call.Pos(), desc, h)
+		return
+	}
+	// L4: a local callee that directly blocks.
+	if callee := analysis.StaticCallee(c.pass, c.cg, call); callee != nil && c.blocks[callee] {
+		c.blocking(call.Pos(), "a call to "+callee.Name()+", which blocks", h)
+	}
+}
+
+// lockOp recognizes x.Lock/RLock/Unlock/RUnlock on a sync.Mutex/RWMutex
+// (including embedded ones) and returns the lock's printed name and the
+// operation.
+func (c *checker) lockOp(call *ast.CallExpr) (lock, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn, ok := c.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !analysis.IsNamedType(recv.Type(), "sync", "Mutex") && !analysis.IsNamedType(recv.Type(), "sync", "RWMutex") {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+// blockingCall classifies a call as directly blocking, returning a
+// description or "".
+func (c *checker) blockingCall(call *ast.CallExpr) string {
+	if analysis.IsPkgCall(c.pass, call, "time", "Sleep") {
+		return "time.Sleep"
+	}
+	for _, name := range []string{"ReadFull", "ReadAtLeast"} {
+		if analysis.IsPkgCall(c.pass, call, "io", name) && len(call.Args) >= 1 &&
+			analysis.IsDeadlineConn(c.pass.TypeOf(call.Args[0])) {
+			return "io." + name + " on a net.Conn"
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	recvT := c.pass.TypeOf(sel.X)
+	switch sel.Sel.Name {
+	case "Read", "Write":
+		if analysis.IsDeadlineConn(recvT) {
+			return "net.Conn " + sel.Sel.Name
+		}
+	case "Wait":
+		if analysis.IsNamedType(recvT, "sync", "WaitGroup") {
+			return "sync.WaitGroup.Wait"
+		}
+		// sync.Cond.Wait releases the lock while waiting: exempt.
+	}
+	return ""
+}
+
+func (c *checker) blocking(pos token.Pos, desc string, h held) {
+	if len(h) == 0 {
+		return
+	}
+	for _, name := range sortedKeys(h) {
+		c.pass.Reportf(pos,
+			"%s is held across %s; a blocked goroutine here stalls every %s waiter — "+
+				"shrink the critical section", name, desc, name)
+	}
+}
+
+func sortedKeys(h held) []string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// directlyBlocks reports whether a function body contains a blocking
+// operation at its own level (function literals excluded), for the L4
+// depth-1 summary.
+func directlyBlocks(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(x.Body) {
+				found = true
+				return false
+			}
+			// A default-select is non-blocking: its comm clauses don't
+			// count, but its case bodies still might.
+			for _, cl := range x.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						if directlyBlocks(pass, &ast.BlockStmt{List: []ast.Stmt{s}}) {
+							found = true
+						}
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			d := (&checker{pass: pass}).blockingCall(x)
+			if d != "" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func terminates(b *ast.BlockStmt) bool { return b != nil && listTerminates(b.List) }
+
+func listTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return stmtTerminates(list[len(list)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return x.Tok == token.BREAK || x.Tok == token.CONTINUE || x.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(x)
+	case *ast.IfStmt:
+		return terminates(x.Body) && x.Else != nil && stmtTerminates(x.Else)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockdisc_test
+
+import (
+	"testing"
+
+	"dgcl/internal/analysis/analysistest"
+	"dgcl/internal/analysis/lockdisc"
+)
+
+func TestLockdisc(t *testing.T) {
+	analysistest.Run(t, lockdisc.Analyzer, "a")
+}

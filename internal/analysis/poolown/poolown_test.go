@@ -1,0 +1,12 @@
+package poolown_test
+
+import (
+	"testing"
+
+	"dgcl/internal/analysis/analysistest"
+	"dgcl/internal/analysis/poolown"
+)
+
+func TestPoolown(t *testing.T) {
+	analysistest.Run(t, poolown.Analyzer, "a")
+}

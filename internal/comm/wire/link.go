@@ -186,6 +186,7 @@ func (l *link) writeFrame(ctx context.Context, buf []byte) error {
 		l.fail(err)
 		return l.downErr()
 	}
+	//dgclvet:ignore lockdisc wmu exists to serialize whole-frame writes on the shared conn; the write deadline armed above bounds the hold, and no other lock nests inside wmu
 	if _, err := l.conn.Write(buf); err != nil {
 		l.fail(err)
 		return l.downErr()

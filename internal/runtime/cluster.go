@@ -212,10 +212,18 @@ func (e *CollectiveError) Unwrap() []error {
 	return out
 }
 
-func collectClientErrors(op string, errs []error) error {
+// collectClientErrors folds per-client errors into one *CollectiveError
+// (or nil when every client succeeded), attaching any down verdicts. The
+// error is built complete here rather than patched by the caller, so no
+// layer ever needs to type-assert its way back into the concrete type.
+func collectClientErrors(op string, errs []error, down ...int) error {
 	for _, err := range errs {
 		if err != nil {
-			return &CollectiveError{Op: op, PerGPU: errs}
+			ce := &CollectiveError{Op: op, PerGPU: errs}
+			if len(down) > 0 {
+				ce.Down = down
+			}
+			return ce
 		}
 	}
 	return nil
@@ -228,11 +236,7 @@ func (c *Cluster) finishCollective(op string, errs []error) error {
 	if c.Health != nil {
 		down = c.Health.ObserveCollective(errs, c.DeviceIDs)
 	}
-	err := collectClientErrors(op, errs)
-	if err != nil && len(down) > 0 {
-		err.(*CollectiveError).Down = down
-	}
-	return err
+	return collectClientErrors(op, errs, down...)
 }
 
 // abortOnDeviceDown cancels the collective the moment any client reports a
