@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race fuzz fuzz-smoke vet lint check bench-smoke chaos wire serve bench-serve
+.PHONY: all build test race fuzz fuzz-smoke vet lint check bench-smoke chaos wire serve bench-serve rejoin
 
 all: build test
 
@@ -77,9 +77,21 @@ bench-serve:
 		-record BENCH_serve.json -label current
 	$(GO) run ./cmd/dgclbenchdiff -runs baseline,current BENCH_serve.json
 
+# Rejoin tier (DESIGN.md §15): the supervised-membership battery under the
+# race detector — lease/heartbeat/backoff timing on injected clocks, control
+# envelope validation, generation fencing, and the process-kill/restart
+# chaos suite (real dgclworker subprocesses, SIGKILL + SIGTERM) with the
+# degrade-onto-survivors path. DGCL_RECORD_RECOVERY=1 makes the kill/restart
+# test record its detection→resume time into the "recovery" run of
+# BENCH_runtime.json.
+rejoin:
+	DGCL_RECORD_RECOVERY=1 $(GO) test -race -count=1 \
+		-run 'Membership|Lease|Backoff|Rejoin|Drain|SplitRanks|DecodeCtrl|ProtocolError|Mismatch|Typed|OSProcess|Health|Epochs|LoadEpoch' \
+		./internal/worker/ ./internal/runtime/ ./internal/checkpoint/
+
 # Short fuzz pass over every fuzz target (plan decode + round-trip, the
-# untrusted checkpoint decode paths, the wire frame decoder, and the serve
-# request decoder).
+# untrusted checkpoint decode paths, the wire frame decoder, the serve
+# request decoder, and the worker control-plane envelope decoder).
 fuzz:
 	$(GO) test -fuzz=FuzzReadPlanJSON -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzPlanJSONRoundTrip -fuzztime=$(FUZZTIME) ./internal/core/
@@ -87,9 +99,10 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeManifest -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/comm/wire/
 	$(GO) test -fuzz=FuzzDecodeServeRequest -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzDecodeCtrlMsg -fuzztime=$(FUZZTIME) ./internal/worker/
 
 # CI-sized fuzz pass: same targets, 10 seconds each.
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=10s
 
-check: vet lint build test race chaos wire serve
+check: vet lint build test race chaos wire serve rejoin

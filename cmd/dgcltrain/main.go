@@ -80,11 +80,16 @@ func main() {
 	flag.StringVar(&rec.crash, "crash", "", "fail-stop schedule dev@epoch[:stage],... (chaos)")
 	listen := flag.String("listen", "", "coordinate a multi-process run: accept dgclworker joins on this address")
 	workers := flag.Int("workers", 2, "worker processes to wait for in -listen mode")
+	var sup supervisionOptions
+	flag.DurationVar(&sup.heartbeat, "heartbeat", 0, "worker heartbeat interval in -listen mode (0 = default)")
+	flag.DurationVar(&sup.lease, "lease", 0, "per-heartbeat lease deadline in -listen mode (0 = 4x heartbeat)")
+	flag.IntVar(&sup.downAfter, "down-after", 0, "consecutive missed leases before a worker is judged dead (0 = default)")
+	flag.DurationVar(&sup.rejoinWait, "rejoin-wait", 0, "grace window for a restarted worker to rejoin before degrading (0 = default)")
 	flag.Parse()
 
 	var err error
 	if *listen != "" {
-		err = coordinate(*listen, *workers, *dataset, *model, *gpus, *scale, *epochs, *layers, *seed, *lr, chaos, rec)
+		err = coordinate(*listen, *workers, *dataset, *model, *gpus, *scale, *epochs, *layers, *seed, *lr, chaos, rec, sup)
 	} else {
 		err = run(*dataset, *model, *gpus, *scale, *epochs, *layers, *seed, float32(*lr), *adam, *planner, *cache, *kernelWorkers, chaos, rec)
 	}
@@ -94,10 +99,19 @@ func main() {
 	}
 }
 
-// coordinate serves one multi-process training run: the heavy lifting —
-// graph build, planning, training — happens in the dgclworker processes;
-// this side is pure control plane.
-func coordinate(addr string, workers int, dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float64, chaos chaosOptions, rec recoveryOptions) error {
+// supervisionOptions bundles the -listen mode membership flags.
+type supervisionOptions struct {
+	heartbeat  time.Duration
+	lease      time.Duration
+	downAfter  int
+	rejoinWait time.Duration
+}
+
+// coordinate serves one supervised multi-process training run: the heavy
+// lifting — graph build, planning, training — happens in the dgclworker
+// processes; this side is pure control plane, supervising the membership
+// (heartbeats, rejoin, degrade-onto-survivors).
+func coordinate(addr string, workers int, dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float64, chaos chaosOptions, rec recoveryOptions, sup supervisionOptions) error {
 	if chaos.enabled() || rec.crash != "" || rec.dir != "" {
 		return fmt.Errorf("-listen coordinates real processes; the chaos and checkpoint flags apply to single-process runs only")
 	}
@@ -122,7 +136,21 @@ func coordinate(addr string, workers int, dataset, modelName string, gpus, scale
 	}
 	fmt.Printf("coordinating %s/%s over %d GPUs: waiting for %d workers on %s\n",
 		dataset, modelName, gpus, workers, ln.Addr())
-	report, err := worker.RunCoordinator(context.Background(), ln, workers, spec)
+	report, err := worker.Supervise(context.Background(), ln, worker.SuperviseOptions{
+		Workers:      workers,
+		Spec:         spec,
+		Heartbeat:    sup.heartbeat,
+		LeaseTimeout: sup.lease,
+		DownAfter:    sup.downAfter,
+		RejoinWait:   sup.rejoinWait,
+		OnEvent: func(ev worker.MemberEvent) {
+			if ev.Detail != "" {
+				fmt.Printf("membership: gen %d worker %d %s (%s)\n", ev.Gen, ev.Member, ev.State, ev.Detail)
+				return
+			}
+			fmt.Printf("membership: gen %d worker %d %s\n", ev.Gen, ev.Member, ev.State)
+		},
+	})
 	if err != nil {
 		return err
 	}

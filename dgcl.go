@@ -491,8 +491,10 @@ func (s *System) applyRunOptions() {
 // process keeps all K model replicas and steps them identically, so final
 // weights are bit-identical to an in-process run with the same seed. Call
 // after BuildCommInfo (and SetRunOptions with the wire provider). Worker
-// mode is incompatible with Degrade-based recovery: a worker run that loses
-// a process fails and is restarted whole.
+// mode composes with Degrade-based recovery under coordinator supervision
+// (internal/worker): Degrade renumbers this process's ranks through the
+// survivor mapping, and the supervision layer re-meshes the survivors and
+// calls SetWorkerMode again with the new generation's wire node.
 func (s *System) SetWorkerMode(ranks []int, peers PeerExchange) error {
 	if err := s.ready(); err != nil {
 		return err

@@ -211,6 +211,55 @@ func (s *Store) loadGeneration(gen int) (*Snapshot, error) {
 	return snap, nil
 }
 
+// Epochs returns the epoch of every intact snapshot in the store, ascending
+// and deduplicated (a rollback-and-rerun can commit the same epoch under two
+// generations). Corrupt generations are skipped, so the result is exactly the
+// set of epochs LoadEpoch can serve — what a rejoining worker advertises to
+// the coordinator when negotiating the common resume epoch. An empty store is
+// an empty list, not an error.
+func (s *Store) Epochs() ([]int, error) {
+	gens, err := s.generations()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool)
+	var epochs []int
+	for _, gen := range gens {
+		snap, err := s.loadGeneration(gen)
+		if err != nil {
+			// Corrupt generation: not restorable, not advertised.
+			continue
+		}
+		if !seen[snap.Epoch] {
+			seen[snap.Epoch] = true
+			epochs = append(epochs, snap.Epoch)
+		}
+	}
+	sort.Ints(epochs)
+	return epochs, nil
+}
+
+// LoadEpoch returns the newest intact snapshot taken at exactly the given
+// epoch — the catch-up path of a worker rejoining at an agreed epoch barrier,
+// where "newest or nothing" (Load) is wrong: every member must restore the
+// same epoch or the replicas diverge. Corrupt generations fall back to older
+// ones with the same epoch; ErrNoCheckpoint means no intact snapshot at that
+// epoch exists.
+func (s *Store) LoadEpoch(epoch int) (*Snapshot, int, error) {
+	gens, err := s.generations()
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		snap, err := s.loadGeneration(gens[i])
+		if err != nil || snap.Epoch != epoch {
+			continue
+		}
+		return snap, gens[i], nil
+	}
+	return nil, 0, fmt.Errorf("checkpoint: %s has no intact snapshot at epoch %d: %w", s.Dir, epoch, ErrNoCheckpoint)
+}
+
 // Latest returns the newest generation number present (by manifest), or
 // ErrNoCheckpoint. It does not verify the payload; use Load for that.
 func (s *Store) Latest() (int, error) {

@@ -1,0 +1,109 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Epoch-indexed store battery: the catch-up negotiation of the multi-process
+// membership layer (internal/worker) rests on Epochs advertising exactly the
+// restorable set and LoadEpoch restoring the agreed epoch — not merely the
+// newest snapshot.
+
+func TestEpochsListsIntactSnapshotsDeduplicated(t *testing.T) {
+	store := NewStore(filepath.Join(t.TempDir(), "ckpt"))
+	store.Keep = 10
+
+	if epochs, err := store.Epochs(); err != nil || len(epochs) != 0 {
+		t.Fatalf("empty store: epochs %v err %v, want [] nil", epochs, err)
+	}
+
+	for _, e := range []int{1, 2, 3} {
+		if _, err := store.Save(testSnapshot(t, e, 11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A rollback-and-rerun commits epoch 2 again under a newer generation.
+	if _, err := store.Save(testSnapshot(t, 2, 11)); err != nil {
+		t.Fatal(err)
+	}
+	epochs, err := store.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 3 || epochs[0] != 1 || epochs[1] != 2 || epochs[2] != 3 {
+		t.Fatalf("epochs %v, want [1 2 3]", epochs)
+	}
+}
+
+func TestLoadEpochRestoresExactEpochNewestFirst(t *testing.T) {
+	store := NewStore(filepath.Join(t.TempDir(), "ckpt"))
+	store.Keep = 10
+
+	first := testSnapshot(t, 2, 11)
+	if _, err := store.Save(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Save(testSnapshot(t, 3, 11)); err != nil {
+		t.Fatal(err)
+	}
+	// A newer generation at the same epoch wins the tie.
+	second := testSnapshot(t, 2, 11)
+	second.Model.Layers[0].Params()[0].Data[0] += 1
+	gen2, err := store.Save(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap, gen, err := store.LoadEpoch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != gen2 {
+		t.Fatalf("LoadEpoch(2) restored generation %d, want the newest %d", gen, gen2)
+	}
+	if snap.Epoch != 2 || !modelsEqual(snap.Model, second.Model) {
+		t.Fatal("LoadEpoch(2) did not restore the newest epoch-2 snapshot bit for bit")
+	}
+	if _, _, err := store.LoadEpoch(9); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("LoadEpoch(9) = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestEpochsSkipsCorruptGenerations(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	store := NewStore(dir)
+	store.Keep = 10
+
+	if _, err := store.Save(testSnapshot(t, 1, 11)); err != nil {
+		t.Fatal(err)
+	}
+	gen3, err := store.Save(testSnapshot(t, 3, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in epoch 3's payload: it must vanish from the advertised
+	// set and LoadEpoch must refuse it rather than restore corrupt weights.
+	payload := filepath.Join(dir, genName(gen3)+payloadSuffix)
+	data, err := os.ReadFile(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(payload, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	epochs, err := store.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 1 || epochs[0] != 1 {
+		t.Fatalf("epochs %v, want [1] after corrupting epoch 3", epochs)
+	}
+	if _, _, err := store.LoadEpoch(3); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("LoadEpoch(3) on a corrupt generation = %v, want ErrNoCheckpoint", err)
+	}
+}

@@ -69,6 +69,8 @@ type Node struct {
 	ln    net.Listener
 	links map[int]*link
 
+	ids []int // compact rank -> external device id (nil = identity)
+
 	pool  *runtime.MatrixPool
 	bytes *bytePool
 
@@ -101,6 +103,24 @@ func NewNode(cfg Config, id int, ln net.Listener) *Node {
 
 // Addr returns the data listener's address for the run's address table.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// SetDeviceIDs installs the compact-rank → external-device-id mapping for
+// peer exchanges. After a degrade the address table (NodeSpec.Ranks, the
+// owner map) keeps using external device ids while the trainer's exchange
+// calls use compact ranks in [0, K'); this mapping bridges the two, exactly
+// like the ids slice the cluster hands CollectiveTransport. Nil means
+// identity (no degrade). Call before exchanging, never mid-exchange.
+func (n *Node) SetDeviceIDs(ids []int) {
+	n.ids = append([]int(nil), ids...)
+}
+
+// dev maps a compact rank to its external device id.
+func (n *Node) dev(rank int) int32 {
+	if n.ids == nil {
+		return int32(rank)
+	}
+	return int32(n.ids[rank])
+}
 
 func (n *Node) isClosed() bool {
 	select {
@@ -525,9 +545,10 @@ func (n *Node) peerDev(peer int) int32 {
 // the tag, and hands it to sink.
 func (n *Node) collect(ctx context.Context, seq uint64, tagSum uint64, tag string, count int, sink func(rank int, f Frame) error) error {
 	for r := 0; r < count; r++ {
-		owner, ok := n.owner[int32(r)]
+		dev := n.dev(r)
+		owner, ok := n.owner[dev]
 		if !ok {
-			return fmt.Errorf("wire: exchange %q: rank %d not in the rank table", tag, r)
+			return fmt.Errorf("wire: exchange %q: device %d (rank %d) not in the rank table", tag, dev, r)
 		}
 		if owner == n.id {
 			continue
@@ -536,7 +557,7 @@ func (n *Node) collect(ctx context.Context, seq uint64, tagSum uint64, tag strin
 		if lk == nil {
 			return fmt.Errorf("wire: exchange %q: no link to node %d", tag, owner)
 		}
-		f, err := n.await(ctx, seq, exchKey(r), lk.closed, int32(r), n.selfDev())
+		f, err := n.await(ctx, seq, exchKey(r), lk.closed, dev, n.selfDev())
 		if err != nil {
 			return err
 		}

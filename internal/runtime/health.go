@@ -137,6 +137,56 @@ func suspectOf(err error, self int) (int, bool) {
 	return te.Dst, true
 }
 
+// Direct-evidence API. The collective path above grades whole collectives;
+// lease-based supervisors (the multi-process coordinator's control-plane
+// heartbeats, internal/worker) feed the same verdict model one observation at
+// a time: a renewal is proof of life, a missed lease deadline is one
+// deadline-class strike, and a connection loss is explicit fail-stop
+// evidence. Strikes accumulate to the same DownAfter threshold and verdicts
+// are just as persistent, so "stalled" and "dead" mean the same thing on the
+// control plane as they do on the data plane.
+
+// ObserveRenewal records direct proof of life for dev (a heartbeat arrived):
+// its consecutive-strike count resets. Verdicts are persistent — a renewal
+// never resurrects a device already judged down.
+func (h *HealthTracker) ObserveRenewal(dev int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.strikes, dev)
+}
+
+// ObserveStrike records one deadline-class strike against dev (a lease
+// expired with no heartbeat) and reports whether dev now has a down verdict.
+func (h *HealthTracker) ObserveStrike(dev int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.verdicts[dev] {
+		return true
+	}
+	h.strikes[dev]++
+	if h.strikes[dev] >= h.DownAfter {
+		h.verdictLocked(dev)
+	}
+	return h.verdicts[dev]
+}
+
+// ObserveEvidence records explicit fail-stop evidence against dev (its
+// control connection died, or a peer reported it DeviceDown): an immediate
+// verdict, same as the collective path's DeviceDownError handling.
+func (h *HealthTracker) ObserveEvidence(dev int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.verdictLocked(dev)
+}
+
+// Strikes returns dev's current consecutive deadline-strike count (0 after a
+// renewal or a verdict).
+func (h *HealthTracker) Strikes(dev int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.strikes[dev]
+}
+
 // Down reports whether the device (external id) has a down verdict.
 func (h *HealthTracker) Down(dev int) bool {
 	h.mu.Lock()

@@ -1,0 +1,84 @@
+package testutil
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// FakeClock is a manually-advanced clock for deterministic timing tests. It
+// structurally satisfies the Clock interfaces of packages that abstract time
+// behind Now/After (internal/worker's lease and backoff machinery): timers
+// only fire when the test calls Advance, so lease expiry, strike cadence, and
+// backoff schedules are exact rather than wall-clock races.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at      time.Time
+	ch      chan time.Time
+	stopped bool
+}
+
+// NewFakeClock starts a fake clock at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that delivers once when Advance moves the clock to
+// or past d from now, plus a stop function reporting whether it prevented the
+// firing (time.Timer semantics).
+func (c *FakeClock) After(d time.Duration) (<-chan time.Time, func() bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- c.now
+		t.stopped = true
+		return t.ch, func() bool { return false }
+	}
+	c.timers = append(c.timers, t)
+	return t.ch, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		prevented := !t.stopped
+		t.stopped = true
+		return prevented
+	}
+}
+
+// Advance moves the clock forward by d, firing every due timer in deadline
+// order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	due := make([]*fakeTimer, 0, len(c.timers))
+	rest := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.stopped && !t.at.After(c.now) {
+			due = append(due, t)
+			continue
+		}
+		rest = append(rest, t)
+	}
+	c.timers = rest
+	sort.SliceStable(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	now := c.now
+	for _, t := range due {
+		t.stopped = true
+	}
+	c.mu.Unlock()
+	for _, t := range due {
+		t.ch <- now
+	}
+}

@@ -1,0 +1,25 @@
+package worker
+
+import "time"
+
+// Clock abstracts time for the membership layer — coordinator leases, worker
+// heartbeats, and reconnect backoff — so the supervision suites run against
+// an injected fake clock (internal/testutil.FakeClock satisfies this
+// structurally) instead of wall-clock sleeps. Production uses the real clock.
+type Clock interface {
+	Now() time.Time
+	// After returns a channel that delivers once after d, plus a stop
+	// function reporting whether it prevented the firing (time.Timer
+	// semantics). Callers must call stop when they abandon the channel.
+	After(d time.Duration) (<-chan time.Time, func() bool)
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) After(d time.Duration) (<-chan time.Time, func() bool) {
+	t := time.NewTimer(d)
+	return t.C, t.Stop
+}

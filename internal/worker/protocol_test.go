@@ -1,0 +1,196 @@
+package worker
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dgcl/internal/comm/wire"
+)
+
+func marshalCtrl(t *testing.T, m ctrlMsg) []byte {
+	t.Helper()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestDecodeCtrlAcceptsValidEnvelope(t *testing.T) {
+	in := ctrlMsg{T: mtPrepare, Gen: 3, RunID: "run-7", You: 1, Ranks: []int{2, 3}, Beat: int64(time.Second)}
+	m, err := decodeCtrl(marshalCtrl(t, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.T != mtPrepare || m.Gen != 3 || m.RunID != "run-7" || m.You != 1 || len(m.Ranks) != 2 {
+		t.Fatalf("decoded envelope lost fields: %+v", m)
+	}
+}
+
+// TestDecodeCtrlRejectsOversizedFields drives every cap in the decode choke
+// point: an envelope over any bound must be refused before protocol logic
+// sees it.
+func TestDecodeCtrlRejectsOversizedFields(t *testing.T) {
+	longStr := strings.Repeat("x", maxCtrlString+1)
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"not json", []byte(`{`)},
+		{"no type", []byte(`{}`)},
+		{"unknown type", marshalCtrl(t, ctrlMsg{T: "gossip"})},
+		{"long run id", marshalCtrl(t, ctrlMsg{T: mtJoin, RunID: longStr})},
+		{"long code", marshalCtrl(t, ctrlMsg{T: mtReject, Code: longStr})},
+		{"long addr", marshalCtrl(t, ctrlMsg{T: mtReady, Addr: longStr})},
+		{"long err", marshalCtrl(t, ctrlMsg{T: mtBye, Err: strings.Repeat("e", maxCtrlErr+1)})},
+		{"many ranks", marshalCtrl(t, ctrlMsg{T: mtPrepare, Ranks: make([]int, maxCtrlRanks+1)})},
+		{"many down", marshalCtrl(t, ctrlMsg{T: mtPrepare, Down: make([]int, maxCtrlRanks+1)})},
+		{"many blame", marshalCtrl(t, ctrlMsg{T: mtFault, Blame: make([]int, maxCtrlRanks+1)})},
+		{"many ckpts", marshalCtrl(t, ctrlMsg{T: mtReady, Ckpts: make([]int, maxCtrlCkpts+1)})},
+		{"many nodes", marshalCtrl(t, ctrlMsg{T: mtMesh, Nodes: make([]wire.NodeSpec, maxCtrlNodes+1)})},
+		{"long node addr", marshalCtrl(t, ctrlMsg{T: mtMesh, Nodes: []wire.NodeSpec{{Addr: longStr}}})},
+		{"many node ranks", marshalCtrl(t, ctrlMsg{T: mtMesh, Nodes: []wire.NodeSpec{{Ranks: make([]int, maxCtrlRanks+1)}}})},
+		{"long spec dataset", marshalCtrl(t, ctrlMsg{T: mtPrepare, Spec: &Spec{Dataset: longStr}})},
+		{"long spec model", marshalCtrl(t, ctrlMsg{T: mtPrepare, Spec: &Spec{Model: longStr}})},
+	}
+	for _, tc := range cases {
+		if _, err := decodeCtrl(tc.raw); err == nil {
+			t.Errorf("%s: decodeCtrl accepted the envelope", tc.name)
+		}
+	}
+}
+
+func TestProtocolErrorIsMatchesByCode(t *testing.T) {
+	wrapped := fmt.Errorf("worker: coordinator said no: %w", &ProtocolError{Code: CodeProtoMismatch, Detail: "v1 vs v2"})
+	if !errors.Is(wrapped, ErrProtoMismatch) {
+		t.Fatal("wrapped proto-mismatch does not match its sentinel")
+	}
+	if errors.Is(wrapped, ErrRunMismatch) || errors.Is(wrapped, ErrFenced) {
+		t.Fatal("proto-mismatch matched a foreign sentinel")
+	}
+	// A target with a Detail is specific: it only matches the same detail.
+	spec := &ProtocolError{Code: CodeFenced, Detail: "generation 4"}
+	if !errors.Is(&ProtocolError{Code: CodeFenced, Detail: "generation 4"}, spec) {
+		t.Fatal("detail-equal errors do not match")
+	}
+	if errors.Is(&ProtocolError{Code: CodeFenced, Detail: "generation 5"}, spec) {
+		t.Fatal("detail-divergent errors matched")
+	}
+}
+
+// TestJoinProtocolVersionMismatchRejected speaks a wrong protocol version at
+// a live coordinator over a real socket: the answer must be a typed reject
+// carrying CodeProtoMismatch, not a decode failure or a hang.
+func TestJoinProtocolVersionMismatchRejected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	coordDone := make(chan struct{})
+	go func() {
+		defer close(coordDone)
+		// The run never gathers a valid worker; the context cancel below
+		// ends it. Only the rejection matters here.
+		_, _ = Supervise(ctx, ln, SuperviseOptions{Workers: 1, Spec: testSpec()})
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteControl(conn, ctrlMsg{T: mtJoin, Proto: ProtoVersion + 1}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := readCtrl(conn, 10*time.Second)
+	if err != nil {
+		t.Fatalf("reading rejection: %v", err)
+	}
+	if msg.T != mtReject || msg.Code != CodeProtoMismatch {
+		t.Fatalf("got %q/%q, want %q/%q", msg.T, msg.Code, mtReject, CodeProtoMismatch)
+	}
+	cancel()
+	<-coordDone
+}
+
+// TestWorkerSurfacesTypedRejection: a worker whose join is rejected must
+// return a ProtocolError the caller can errors.Is against the code sentinel.
+func TestWorkerSurfacesTypedRejection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := readCtrl(conn, 5*time.Second); err != nil {
+			return
+		}
+		_ = wire.WriteControl(conn, ctrlMsg{T: mtReject, Code: CodeRunMismatch, Err: "stale identity"}, 5*time.Second)
+	}()
+	_, err = Run(context.Background(), WorkerOptions{Coordinator: ln.Addr().String()})
+	if !errors.Is(err, ErrRunMismatch) {
+		t.Fatalf("got %v, want a %s ProtocolError", err, CodeRunMismatch)
+	}
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Detail != "stale identity" {
+		t.Fatalf("rejection detail lost: %v", err)
+	}
+}
+
+// FuzzDecodeCtrlMsg fuzzes the control-plane decode choke point: arbitrary
+// bytes must never panic, and any envelope the decoder accepts must survive a
+// marshal/decode round trip with its identity intact.
+func FuzzDecodeCtrlMsg(f *testing.F) {
+	seed := []ctrlMsg{
+		{T: mtJoin, Proto: ProtoVersion},
+		{T: mtJoin, Proto: ProtoVersion, Rejoin: true, RunID: "run-1", Plan: 0xfeed},
+		{T: mtReject, Gen: 2, Code: CodeFenced, Err: "generation 2 already forming"},
+		{T: mtPrepare, Gen: 1, RunID: "run-1", Spec: &Spec{Dataset: "Web-Google", Model: "GCN", GPUs: 4}, You: 1, Ranks: []int{2, 3}, Down: []int{1}, Beat: 5e8},
+		{T: mtReady, Gen: 1, Addr: "127.0.0.1:401", Plan: 7, Ckpts: []int{1, 2}},
+		{T: mtMesh, Gen: 1, Nodes: []wire.NodeSpec{{Addr: "127.0.0.1:402", Ranks: []int{0, 1}}}, Start: 2},
+		{T: mtBeat, Gen: 1, Epoch: 2, Progress: true, Loss: 0.25},
+		{T: mtFault, Gen: 1, Epoch: 2, Blame: []int{3}},
+		{T: mtLeave, Gen: 1, Epoch: 2},
+		{T: mtResult, Gen: 1, Epoch: 3, Sum: 0xabc, Losses: []float64{1, 0.5}},
+		{T: mtBye, Gen: 1, OK: true, Losses: []float64{1, 0.5}, Sum: 0xabc},
+	}
+	for _, m := range seed {
+		data, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"t":"join","proto":1e9}`))
+	f.Add([]byte(`{"t":"mesh","nodes":[{"addr":"x","ranks":[0]}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeCtrl(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted envelope does not re-marshal: %v", err)
+		}
+		m2, err := decodeCtrl(out)
+		if err != nil {
+			t.Fatalf("re-marshaled envelope rejected: %v", err)
+		}
+		if m2.T != m.T || m2.Gen != m.Gen || m2.RunID != m.RunID || m2.Epoch != m.Epoch {
+			t.Fatalf("round trip changed the envelope: %+v vs %+v", m, m2)
+		}
+	})
+}

@@ -1,25 +1,32 @@
-// Package worker turns the single-process training loop into an N-process
-// run over the wire transport: a coordinator hands each joining worker
-// process its node id, client ranks, and the cluster's address table; every
-// worker builds the identical system from the shared Spec, meshes with its
-// peers over TCP (handshakes reject strangers and divergent plans), and
-// trains its ranks while exchanging losses and gradients through
-// runtime.PeerExchange. Every process keeps all K model replicas and steps
-// them identically, so the final weights of every worker — and of a
-// single-process run with the same Spec — are bit-identical.
+// Package worker turns the single-process training loop into a supervised
+// N-process run over the wire transport. A coordinator (Supervise) admits
+// worker processes into a membership, hands each its node id, client ranks,
+// and the generation's address table; every worker builds the identical
+// system from the shared Spec, meshes with its peers over TCP (handshakes
+// reject strangers, divergent plans, and stale generations), and trains its
+// ranks while exchanging losses and gradients through runtime.PeerExchange.
+// Every process keeps all K model replicas and steps them identically, so
+// the final weights of every worker — and of a single-process run with the
+// same Spec — are bit-identical.
+//
+// The membership layer (DESIGN.md §15) makes the run survive its processes:
+// heartbeats renew per-worker leases, missed deadlines accumulate
+// HealthTracker strikes (stalled → suspect → dead), and a membership change
+// rolls the run forward one generation. A restarted worker re-dials with
+// bounded backoff, presents its persisted run identity, reclaims its slot,
+// and every member catches up from the newest checkpoint epoch they all hold
+// intact; when nobody rejoins within the grace window the coordinator
+// degrades the dead ranks onto the survivors over the live control sockets.
 package worker
 
 import (
 	"context"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
-	"net"
 	"time"
 
 	"dgcl"
-	"dgcl/internal/comm/wire"
 	"dgcl/internal/gnn"
 	"dgcl/internal/graph"
 )
@@ -119,7 +126,7 @@ func trainEpochs(ctx context.Context, sys *dgcl.System, model *dgcl.Model, featu
 		tr.Step(float32(spec.LR))
 		rep.Losses[e] = loss
 	}
-	rep.ModelSum = ModelDigest(model)
+	rep.ModelSum = ModelDigest(tr.Models[0])
 	return rep, nil
 }
 
@@ -168,126 +175,12 @@ func splitRanks(k, w int) [][]int {
 	return out
 }
 
-// Control-plane messages, length-prefixed JSON over the coordinator
-// connection (wire.WriteControl / wire.ReadControl).
-type joinMsg struct {
-	// DataAddr is where this worker's wire node accepts peer connections.
-	// The worker binds its data listener before joining, so the address
-	// table is complete the moment the last worker joins.
-	DataAddr string
-}
-
-type startMsg struct {
-	Spec  Spec
-	Nodes []wire.NodeSpec
-	You   int
-}
-
-type resultMsg struct {
-	Err      string
-	Losses   []float64
-	ModelSum uint64
-}
-
-type byeMsg struct {
-	OK  bool
-	Err string
-}
-
 const (
 	controlTimeout = 60 * time.Second
 	// resultTimeout bounds how long the coordinator waits for a worker's
 	// training to finish, and a worker for its peers' results.
 	resultTimeout = 10 * time.Minute
 )
-
-// RunCoordinator serves one multi-process run on a pre-opened listener: it
-// accepts `workers` join connections, assigns node ids in join order and
-// ranks contiguously, broadcasts the start message with the full address
-// table, then collects every worker's report and verifies they are
-// identical. The coordinator is pure control plane — no tensor crosses it.
-func RunCoordinator(ctx context.Context, ln net.Listener, workers int, spec Spec) (*Report, error) {
-	spec = spec.withDefaults()
-	if workers < 1 {
-		return nil, fmt.Errorf("worker: need at least 1 worker, got %d", workers)
-	}
-	if workers > spec.GPUs {
-		return nil, fmt.Errorf("worker: %d workers for %d GPUs: some would host no rank", workers, spec.GPUs)
-	}
-	defer ln.Close()
-	deadline := time.Now().Add(controlTimeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
-	type deadliner interface{ SetDeadline(time.Time) error }
-	if dl, ok := ln.(deadliner); ok {
-		if err := dl.SetDeadline(deadline); err != nil {
-			return nil, err
-		}
-	}
-
-	conns := make([]net.Conn, 0, workers)
-	defer func() {
-		for _, c := range conns {
-			c.Close()
-		}
-	}()
-	ranks := splitRanks(spec.GPUs, workers)
-	nodes := make([]wire.NodeSpec, 0, workers)
-	for len(conns) < workers {
-		conn, err := ln.Accept()
-		if err != nil {
-			return nil, fmt.Errorf("worker: accept (have %d of %d workers): %w", len(conns), workers, err)
-		}
-		var join joinMsg
-		if err := wire.ReadControl(conn, &join, controlTimeout); err != nil {
-			conn.Close()
-			return nil, err
-		}
-		conns = append(conns, conn)
-		nodes = append(nodes, wire.NodeSpec{Addr: join.DataAddr, Ranks: ranks[len(nodes)]})
-	}
-	for i, conn := range conns {
-		if err := wire.WriteControl(conn, startMsg{Spec: spec, Nodes: nodes, You: i}, controlTimeout); err != nil {
-			return nil, fmt.Errorf("worker: start node %d: %w", i, err)
-		}
-	}
-
-	var report *Report
-	var failures []error
-	for i, conn := range conns {
-		var res resultMsg
-		if err := wire.ReadControl(conn, &res, resultTimeout); err != nil {
-			failures = append(failures, fmt.Errorf("worker %d: %w", i, err))
-			continue
-		}
-		if res.Err != "" {
-			failures = append(failures, fmt.Errorf("worker %d: %s", i, res.Err))
-			continue
-		}
-		got := &Report{Losses: res.Losses, ModelSum: res.ModelSum}
-		if report == nil {
-			report = got
-			continue
-		}
-		if err := sameReport(report, got); err != nil {
-			failures = append(failures, fmt.Errorf("worker %d diverged from worker 0: %w", i, err))
-		}
-	}
-	err := errors.Join(failures...)
-	bye := byeMsg{OK: err == nil}
-	if err != nil {
-		bye.Err = err.Error()
-	}
-	for _, conn := range conns {
-		// Best effort: a worker that already died cannot read its bye.
-		_ = wire.WriteControl(conn, bye, controlTimeout) //dgclvet:ignore errwrap shutdown ack is best-effort; the joined error below carries the verdict
-	}
-	if err != nil {
-		return nil, err
-	}
-	return report, nil
-}
 
 func sameReport(a, b *Report) error {
 	if len(a.Losses) != len(b.Losses) {
@@ -304,100 +197,10 @@ func sameReport(a, b *Report) error {
 	return nil
 }
 
-// RunWorker hosts one process's share of a run: it binds the data listener
-// on dataBind (the advertised peer address; "127.0.0.1:0" for single-machine
-// runs, a routable host:port on real clusters), joins the coordinator at
-// coordAddr, builds the system from the received spec, meshes with its
-// peers, trains its ranks, and reports back.
-func RunWorker(ctx context.Context, coordAddr, dataBind string) (*Report, error) {
-	if dataBind == "" {
-		dataBind = "127.0.0.1:0"
-	}
-	ln, err := net.Listen("tcp", dataBind)
-	if err != nil {
-		return nil, fmt.Errorf("worker: data listener: %w", err)
-	}
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", coordAddr)
-	if err != nil {
-		ln.Close()
-		return nil, fmt.Errorf("worker: coordinator %s: %w", coordAddr, err)
-	}
-	defer conn.Close()
-	if err := wire.WriteControl(conn, joinMsg{DataAddr: ln.Addr().String()}, controlTimeout); err != nil {
-		ln.Close()
-		return nil, err
-	}
-	var start startMsg
-	if err := wire.ReadControl(conn, &start, controlTimeout); err != nil {
-		ln.Close()
-		return nil, err
-	}
-
-	report, node, trainErr := runAssignment(ctx, ln, start)
-	if node != nil {
-		// Keep the mesh up until the coordinator acknowledges every
-		// worker's result: no process tears its sockets down while a
-		// slower peer still drains them.
-		defer node.Close()
-	}
-	res := resultMsg{}
-	if trainErr != nil {
-		res.Err = trainErr.Error()
-	} else {
-		res.Losses, res.ModelSum = report.Losses, report.ModelSum
-	}
-	if err := wire.WriteControl(conn, res, controlTimeout); err != nil {
-		return nil, errors.Join(trainErr, err)
-	}
-	var bye byeMsg
-	if err := wire.ReadControl(conn, &bye, resultTimeout); err != nil {
-		return nil, errors.Join(trainErr, err)
-	}
-	if trainErr != nil {
-		return nil, trainErr
-	}
-	if !bye.OK {
-		return nil, fmt.Errorf("worker: run failed: %s", bye.Err)
-	}
-	return report, nil
-}
-
-// runAssignment executes the received assignment: build, mesh, train. The
-// returned node (when non-nil) is still connected — the caller closes it
-// after the coordinator's bye, or immediately on error, where the fast
-// teardown is the fail-stop signal peers map to DeviceDownError.
-func runAssignment(ctx context.Context, ln net.Listener, start startMsg) (*Report, *wire.Node, error) {
-	spec := start.Spec
-	if start.You < 0 || start.You >= len(start.Nodes) {
-		ln.Close()
-		return nil, nil, fmt.Errorf("worker: node id %d outside %d-entry table", start.You, len(start.Nodes))
-	}
-	sys, model, features, targets, err := Build(spec)
-	if err != nil {
-		ln.Close()
-		return nil, nil, err
-	}
-	node := wire.NewNode(wire.Config{
-		ClusterID: clusterID(spec),
-		PlanSum:   wire.PlanDigest(sys.Plan()),
-	}, start.You, ln)
-	if err := node.Connect(ctx, start.Nodes); err != nil {
-		node.Close()
-		return nil, nil, err
-	}
-	if err := sys.SetRunOptions(dgcl.RunOptions{Transport: node}); err != nil {
-		return nil, node, err
-	}
-	if err := sys.SetWorkerMode(start.Nodes[start.You].Ranks, node); err != nil {
-		return nil, node, err
-	}
-	rep, err := trainEpochs(ctx, sys, model, features, targets, spec)
-	return rep, node, err
-}
-
-// clusterID names the run in the wire handshake so workers handed different
-// specs refuse to mesh even before the plan digest check.
+// clusterID names the run: it prefixes the coordinator's run ID, which in
+// turn (suffixed with the membership generation) becomes the wire cluster ID,
+// so workers handed different specs — or meshing for a stale generation —
+// refuse to connect even before the plan digest check.
 func clusterID(spec Spec) string {
 	return fmt.Sprintf("dgcl-%s-%s-k%d-s%d", spec.Dataset, spec.Model, spec.GPUs, spec.Seed)
 }

@@ -39,6 +39,14 @@ func TestSplitRanksContiguousAndComplete(t *testing.T) {
 		{4, 4, [][]int{{0}, {1}, {2}, {3}}},
 		{8, 3, [][]int{{0, 1}, {2, 3, 4}, {5, 6, 7}}},
 		{4, 1, [][]int{{0, 1, 2, 3}}},
+		// K not divisible by W: uneven but contiguous and complete.
+		{5, 3, [][]int{{0}, {1, 2}, {3, 4}}},
+		{7, 2, [][]int{{0, 1, 2}, {3, 4, 5, 6}}},
+		// Single process hosting a single rank.
+		{1, 1, [][]int{{0}}},
+		// More processes than ranks: the arithmetic leaves early slots empty
+		// (Supervise rejects this shape before it ever reaches splitRanks).
+		{3, 4, [][]int{nil, {0}, {1}, {2}}},
 	}
 	for _, tc := range cases {
 		if got := splitRanks(tc.k, tc.w); !reflect.DeepEqual(got, tc.want) {

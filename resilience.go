@@ -131,6 +131,20 @@ func (s *System) Degrade(down []int) error {
 	clu.NonAtomic = !s.opts.AtomicBackward
 	s.part, s.rel, s.locals, s.plan, s.clu = p, rel, locals, plan, clu
 	s.dtopo, s.alive = dtopo, newAlive
+	// Worker mode survives a degrade: this process's rank restriction is
+	// renumbered through the same survivor mapping as the cluster (dead ranks
+	// drop out), so clu.Ranks never dangles outside the new [0, K'). The
+	// supervised membership layer (internal/worker) still re-meshes and calls
+	// SetWorkerMode with the fresh wire node afterwards.
+	if s.ranks != nil {
+		remapped := make([]int, 0, len(s.ranks))
+		for _, r := range s.ranks {
+			if r >= 0 && r < len(newIndex) && newIndex[r] >= 0 {
+				remapped = append(remapped, newIndex[r])
+			}
+		}
+		s.ranks = remapped
+	}
 	s.applyRunOptions()
 	return nil
 }
