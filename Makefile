@@ -34,9 +34,14 @@ lint: vet
 # Bench-smoke tier: one iteration of every planner benchmark (serial,
 # parallel waves, warm cache), recorded as BENCH_plan.json for trend
 # tracking. -benchtime 1x keeps it fast enough for CI. The runtime epoch
-# hot-path benchmarks (DESIGN.md §11) refresh the "current" run of
-# BENCH_runtime.json — the "baseline" run is the frozen pre-compile
-# implementation — and dgclbenchdiff prints the delta.
+# hot-path benchmarks (DESIGN.md §11/§16) — overlap-off and overlap-on
+# variants both match the unanchored -bench regex — refresh the "current"
+# run of BENCH_runtime.json; the "baseline" run is the frozen pre-compile
+# implementation. dgclbenchdiff prints the delta and, with -fail-over,
+# exits nonzero if any shared benchmark regressed past 25% so the smoke
+# gates rather than just reports. The threshold is deliberately loose:
+# 3-iteration runs on shared CI boxes are noisy, and the frozen baseline
+# leaves real headroom below it.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkPlanSPST|BenchmarkPlanCacheWarm' \
 		-benchtime 1x -json ./internal/core/ > BENCH_plan.json
@@ -44,7 +49,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkAllgather|BenchmarkEpoch|BenchmarkWire' \
 		-benchtime 3x -json ./internal/runtime/ ./internal/comm/wire/ \
 		| $(GO) run ./cmd/dgclbenchdiff -record BENCH_runtime.json -label current
-	$(GO) run ./cmd/dgclbenchdiff -runs baseline,current BENCH_runtime.json
+	$(GO) run ./cmd/dgclbenchdiff -runs baseline,current -fail-over 25 BENCH_runtime.json
 
 # Chaos tier (DESIGN.md §10): the failure-handling battery under the race
 # detector — fault-injection chaos, fail-stop crash/recovery, checkpoint

@@ -11,8 +11,12 @@
 // The delta table matches benchmarks by name and prints ns/op, B/op and
 // allocs/op side by side with improvement factors; benchmarks present in
 // only one run are listed without a delta. Exit status is 0 on success, 1
-// on usage or parse errors — the tool never judges results, it only
-// reports them (the allocation budgets live in the test suite).
+// on usage or parse errors. By default the tool only reports (the
+// allocation budgets live in the test suite); with -fail-over PCT a
+// comparison additionally exits nonzero when any shared benchmark's ns/op
+// regressed by more than PCT percent, so bench-smoke can gate CI:
+//
+//	dgclbenchdiff -runs baseline,current -fail-over 25 BENCH_runtime.json
 package main
 
 import (
@@ -54,14 +58,15 @@ func main() {
 	recordPath := flag.String("record", "", "upsert parsed results into this runs file (reads a stream from stdin or the file argument)")
 	label := flag.String("label", "current", "run label used with -record")
 	runsFlag := flag.String("runs", "", "two comma-separated run labels to compare within one runs file")
+	failOver := flag.Float64("fail-over", 0, "exit nonzero when a shared benchmark's ns/op regresses by more than this percentage (0 = report only)")
 	flag.Parse()
-	if err := mainErr(*recordPath, *label, *runsFlag, flag.Args()); err != nil {
+	if err := mainErr(*recordPath, *label, *runsFlag, *failOver, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "dgclbenchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func mainErr(recordPath, label, runsFlag string, args []string) error {
+func mainErr(recordPath, label, runsFlag string, failOver float64, args []string) error {
 	if recordPath != "" {
 		return recordRun(recordPath, label, args)
 	}
@@ -86,7 +91,7 @@ func mainErr(recordPath, label, runsFlag string, args []string) error {
 			return fmt.Errorf("%s: %w", args[0], err)
 		}
 		printDelta(old, cur)
-		return nil
+		return checkRegressions(old, cur, failOver)
 	}
 	if len(args) != 2 {
 		return fmt.Errorf("usage: dgclbenchdiff OLD.json NEW.json | dgclbenchdiff -runs A,B FILE.json | ... -record FILE.json -label L")
@@ -100,6 +105,33 @@ func mainErr(recordPath, label, runsFlag string, args []string) error {
 		return err
 	}
 	printDelta(old, cur)
+	return checkRegressions(old, cur, failOver)
+}
+
+// checkRegressions enforces -fail-over: every benchmark present in both runs
+// may regress its ns/op by at most pct percent. pct <= 0 means report-only.
+func checkRegressions(old, cur run, pct float64) error {
+	if pct <= 0 {
+		return nil
+	}
+	curIdx := make(map[string]result, len(cur.Results))
+	for _, r := range cur.Results {
+		curIdx[r.Name] = r
+	}
+	var bad []string
+	for _, o := range old.Results {
+		c, ok := curIdx[o.Name]
+		if !ok || o.NsPerOp == 0 {
+			continue
+		}
+		if c.NsPerOp > o.NsPerOp*(1+pct/100) {
+			bad = append(bad, fmt.Sprintf("%s %.0f -> %.0f ns/op (+%.1f%%)",
+				o.Name, o.NsPerOp, c.NsPerOp, (c.NsPerOp/o.NsPerOp-1)*100))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %.0f%%: %s", len(bad), pct, strings.Join(bad, "; "))
+	}
 	return nil
 }
 

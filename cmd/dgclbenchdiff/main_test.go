@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRuns(t *testing.T, baselineNs, currentNs float64) string {
+	t.Helper()
+	rec := record{Runs: []run{
+		{Label: "baseline", Results: []result{
+			{Name: "BenchmarkEpoch/k8", Iters: 100, NsPerOp: baselineNs},
+			{Name: "BenchmarkOnlyInBaseline", Iters: 100, NsPerOp: 10},
+		}},
+		{Label: "current", Results: []result{
+			{Name: "BenchmarkEpoch/k8", Iters: 100, NsPerOp: currentNs},
+			{Name: "BenchmarkOnlyInCurrent", Iters: 100, NsPerOp: 99999},
+		}},
+	}}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFailOverPassesWithinThreshold(t *testing.T) {
+	path := writeRuns(t, 1000, 1200) // +20%
+	if err := mainErr("", "current", "baseline,current", 25, []string{path}); err != nil {
+		t.Fatalf("20%% regression under a 25%% gate: %v", err)
+	}
+}
+
+func TestFailOverRejectsRegression(t *testing.T) {
+	path := writeRuns(t, 1000, 1300) // +30%
+	err := mainErr("", "current", "baseline,current", 25, []string{path})
+	if err == nil {
+		t.Fatal("30% regression passed a 25% gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkEpoch/k8") {
+		t.Fatalf("error does not name the offender: %v", err)
+	}
+}
+
+func TestFailOverZeroOnlyReports(t *testing.T) {
+	path := writeRuns(t, 1000, 5000)
+	if err := mainErr("", "current", "baseline,current", 0, []string{path}); err != nil {
+		t.Fatalf("-fail-over 0 must report only: %v", err)
+	}
+}
+
+func TestFailOverIgnoresUnsharedBenchmarks(t *testing.T) {
+	// Benchmarks present in only one run (added or removed) never trip the
+	// gate, however extreme their numbers.
+	path := writeRuns(t, 1000, 1000)
+	if err := mainErr("", "current", "baseline,current", 1, []string{path}); err != nil {
+		t.Fatalf("unshared benchmarks tripped the gate: %v", err)
+	}
+}

@@ -52,6 +52,18 @@ type recoveryOptions struct {
 	crash  string
 }
 
+// overlapOptions bundles the overlapped-execution flags (DESIGN.md §16).
+type overlapOptions struct {
+	on         bool
+	chunkRows  int
+	window     int
+	wireWindow int
+}
+
+func (o overlapOptions) dgcl() dgcl.OverlapOptions {
+	return dgcl.OverlapOptions{Disabled: !o.on, ChunkRows: o.chunkRows, Window: o.window}
+}
+
 func main() {
 	dataset := flag.String("dataset", "Reddit", "dataset from Table 4")
 	model := flag.String("model", "GCN", "GCN | CommNet | GIN | GraphSAGE | GAT")
@@ -65,6 +77,11 @@ func main() {
 	planner := flag.String("planner", "spst", "spst | p2p | spst-noforward")
 	cache := flag.Bool("cache-features", false, "cache remote layer-0 features across epochs")
 	kernelWorkers := flag.Int("kernel-workers", 1, "workers for the deterministic parallel tensor kernels (results bit-identical at any value)")
+	var ov overlapOptions
+	flag.BoolVar(&ov.on, "overlap", true, "chunked transfers + async stage pipelining (bit-identical to serial; false runs stages serially)")
+	flag.IntVar(&ov.chunkRows, "chunk-rows", 0, "rows per transfer chunk for overlapped execution (0 = default; shared by every process of a -listen run)")
+	flag.IntVar(&ov.window, "overlap-window", 0, "stages the send pipeline may run ahead of aggregation (0 = default)")
+	flag.IntVar(&ov.wireWindow, "wire-window", 0, "per-link wire credit window in frames for -listen runs (0 = default)")
 	var chaos chaosOptions
 	flag.Float64Var(&chaos.drop, "fault-drop", 0, "transport drop probability per message (chaos)")
 	flag.Float64Var(&chaos.corrupt, "fault-corrupt", 0, "transport corruption probability per message (chaos)")
@@ -89,9 +106,9 @@ func main() {
 
 	var err error
 	if *listen != "" {
-		err = coordinate(*listen, *workers, *dataset, *model, *gpus, *scale, *epochs, *layers, *seed, *lr, chaos, rec, sup)
+		err = coordinate(*listen, *workers, *dataset, *model, *gpus, *scale, *epochs, *layers, *seed, *lr, ov, chaos, rec, sup)
 	} else {
-		err = run(*dataset, *model, *gpus, *scale, *epochs, *layers, *seed, float32(*lr), *adam, *planner, *cache, *kernelWorkers, chaos, rec)
+		err = run(*dataset, *model, *gpus, *scale, *epochs, *layers, *seed, float32(*lr), *adam, *planner, *cache, *kernelWorkers, ov, chaos, rec)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgcltrain:", err)
@@ -111,9 +128,12 @@ type supervisionOptions struct {
 // lifting — graph build, planning, training — happens in the dgclworker
 // processes; this side is pure control plane, supervising the membership
 // (heartbeats, rejoin, degrade-onto-survivors).
-func coordinate(addr string, workers int, dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float64, chaos chaosOptions, rec recoveryOptions, sup supervisionOptions) error {
+func coordinate(addr string, workers int, dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float64, ov overlapOptions, chaos chaosOptions, rec recoveryOptions, sup supervisionOptions) error {
 	if chaos.enabled() || rec.crash != "" || rec.dir != "" {
 		return fmt.Errorf("-listen coordinates real processes; the chaos and checkpoint flags apply to single-process runs only")
+	}
+	if !ov.on || ov.window > 0 {
+		return fmt.Errorf("-overlap and -overlap-window are per-process policy: set them on each dgclworker (-chunk-rows and -wire-window distribute through the spec)")
 	}
 	ds, err := graph.DatasetByName(dataset)
 	if err != nil {
@@ -129,6 +149,9 @@ func coordinate(addr string, workers int, dataset, modelName string, gpus, scale
 		Epochs:  epochs,
 		Seed:    seed,
 		LR:      lr,
+
+		ChunkRows:  ov.chunkRows,
+		WireWindow: ov.wireWindow,
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -161,7 +184,7 @@ func coordinate(addr string, workers int, dataset, modelName string, gpus, scale
 	return nil
 }
 
-func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float32, adam bool, planner string, cache bool, kernelWorkers int, chaos chaosOptions, rec recoveryOptions) error {
+func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64, lr float32, adam bool, planner string, cache bool, kernelWorkers int, ov overlapOptions, chaos chaosOptions, rec recoveryOptions) error {
 	ds, err := graph.DatasetByName(dataset)
 	if err != nil {
 		return err
@@ -180,12 +203,15 @@ func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64,
 	if err != nil {
 		return err
 	}
-	sys := dgcl.Init(topo, dgcl.Options{Planner: dgcl.Planner(planner), Seed: seed, CacheFeatures: cache, KernelWorkers: kernelWorkers})
+	sys := dgcl.Init(topo, dgcl.Options{Planner: dgcl.Planner(planner), Seed: seed, CacheFeatures: cache, KernelWorkers: kernelWorkers, Overlap: ov.dgcl()})
 	if err := sys.BuildCommInfo(g, ds.FeatureDim); err != nil {
 		return err
 	}
 	fmt.Printf("plan: %s, %d stages, modeled comm %.3f ms per allgather\n",
 		sys.Plan().Algorithm, sys.Plan().NumStages(), sys.PlannedCost()*1e3)
+	if ov.on {
+		fmt.Printf("overlap: pipelined execution, %d-row chunks\n", sys.OverlapChunkRows())
+	}
 
 	// Fault injection: the runtime transport retries real losses, and the
 	// network simulator prices the retransmissions in virtual time. A
@@ -244,6 +270,9 @@ func run(dataset, modelName string, gpus, scale, epochs, layers int, seed int64,
 	gpu := device.V100()
 	simCfg := simnet.DefaultConfig(seed)
 	simCfg.Faults = faultProfile
+	if ov.on {
+		simCfg.Overlap = &simnet.OverlapModel{ChunkRows: sys.OverlapChunkRows(), Window: ov.window}
+	}
 	net, err := simnet.New(topo, simCfg)
 	if err != nil {
 		return err

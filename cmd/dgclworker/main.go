@@ -42,6 +42,9 @@ func main() {
 	dialMax := flag.Duration("dial-backoff-max", 5*time.Second, "backoff ceiling")
 	dialTries := flag.Int("dial-tries", 1, "coordinator dial attempts before giving up")
 	timeout := flag.Duration("timeout", 15*time.Minute, "overall deadline for the run")
+	overlap := flag.Bool("overlap", true, "pipelined chunked execution for this process's ranks (bit-identical either way)")
+	overlapWindow := flag.Int("overlap-window", 0, "stages the send pipeline may run ahead of aggregation (0 = default)")
+	wireWindow := flag.Int("wire-window", 0, "per-link wire credit window in frames (0 = spec value, else default)")
 	flag.Parse()
 	if *connect == "" {
 		fmt.Fprintln(os.Stderr, "dgclworker: -connect is required")
@@ -75,6 +78,9 @@ func main() {
 		Rejoin:          *rejoin,
 		Backoff:         worker.BackoffConfig{Initial: *dialInitial, Max: *dialMax, Tries: *dialTries},
 		Drain:           drain,
+		OverlapOff:      !*overlap,
+		OverlapWindow:   *overlapWindow,
+		WireWindow:      *wireWindow,
 	})
 	if errors.Is(err, worker.ErrDrained) {
 		fmt.Println("drained")

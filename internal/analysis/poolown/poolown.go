@@ -26,6 +26,13 @@
 // in one select case poisons the code after the select even though another
 // case may have kept the handle (flagged as a conditional release — still
 // a bug worth a look).
+//
+// Function literals are flow-checked as independent functions with a fresh
+// state: a closure that runs on its own goroutine (the pipelined sender of
+// runtime/overlap.go) owns the buffers it acquires, so its acquire/release
+// discipline is checked like any function body, while a captured outer
+// handle crossing into the closure is ownership transfer (like a channel
+// send) and stays legal.
 package poolown
 
 import (
@@ -91,6 +98,16 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		c.recv = pass.ObjectOf(fd.Recv.List[0].Names[0])
 	}
 	c.walkStmts(fd.Body.List, state{})
+	// Closure bodies execute on their own goroutine or call path, outside
+	// the enclosing flow (the enclosing walk treats the literal as one
+	// opaque use). Flow-check each with a fresh state: handles acquired
+	// inside are tracked, captured outer handles are ownership transfers.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.walkStmts(fl.Body.List, state{})
+		}
+		return true
+	})
 }
 
 func (c *checker) walkStmts(stmts []ast.Stmt, st state) {

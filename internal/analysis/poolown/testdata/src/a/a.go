@@ -134,6 +134,38 @@ func storeInLocalStruct(pool *BufPool) message {
 	return m
 }
 
+// senderGoroutineOwnership is the pipelined-sender shape: the goroutine
+// body is its own flow and keeps the loop-body acquire/release discipline.
+func senderGoroutineOwnership(pool *BufPool, n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			buf := pool.Get(64)
+			buf[0] = byte(i)
+			pool.Put(buf)
+		}
+	}()
+}
+
+// useAfterPutInsideGoroutine: a release across a goroutine boundary is
+// still a release — the closure's own later use is flagged.
+func useAfterPutInsideGoroutine(pool *BufPool) {
+	go func() {
+		buf := pool.Get(64)
+		pool.Put(buf)
+		buf[0] = 1 // want "pooled buffer .buf. used after release"
+	}()
+}
+
+// transferIntoGoroutine is legal: the spawner hands the handle to the
+// goroutine (ownership transfer, like a channel send) and never touches it
+// again; the closure, a fresh flow, releases an untracked capture.
+func transferIntoGoroutine(pool *BufPool) {
+	buf := pool.Get(64)
+	go func() {
+		pool.Put(buf)
+	}()
+}
+
 // reassignmentClearsTracking mirrors the append-grow idiom.
 func reassignmentClearsTracking(pool *BufPool) {
 	buf := pool.Get(8)[:0]

@@ -85,10 +85,20 @@ type Frame struct {
 	Credits uint32
 }
 
-// fnv64a is the frame checksum: FNV-64a over raw body bytes, inlined so the
-// hot path hashes without allocating a hash.Hash64.
+// fnv64a is the frame checksum: FNV-64a chaining over 64-bit little-endian
+// lanes (byte-at-a-time only for the tail), inlined so the hot path hashes
+// without allocating a hash.Hash64. The checksum never leaves a single
+// build — it is computed on encode and verified on decode by peers running
+// the same library — so the lane-wide variant is free to diverge from
+// canonical byte-wise FNV; what matters is that any flipped body byte
+// changes the chained state, which the wire corruption tests exercise.
 func fnv64a(b []byte) uint64 {
 	h := uint64(14695981039346656037)
+	for len(b) >= 8 {
+		h ^= binary.LittleEndian.Uint64(b)
+		h *= 1099511628211
+		b = b[8:]
+	}
 	for _, c := range b {
 		h ^= uint64(c)
 		h *= 1099511628211
@@ -335,6 +345,24 @@ func PlanDigest(p *core.Plan) uint64 {
 				mix(uint64(uint32(v)))
 			}
 		}
+	}
+	return h
+}
+
+// DigestWithChunking folds the transfer-chunking granularity into a plan
+// digest. Chunking (runtime overlap, DESIGN.md §16) splits plan transfers
+// into sub-transfers at compile time, which changes the wire-visible
+// transfer keys — two peers compiled at different granularities would route
+// each other's frames to the wrong collective slots. Folding the
+// granularity into the hello's plan sum turns that desync into a handshake
+// rejection.
+func DigestWithChunking(planSum uint64, chunkRows int) uint64 {
+	h := planSum
+	v := uint64(uint32(chunkRows))
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
 	}
 	return h
 }

@@ -23,7 +23,9 @@ type Config struct {
 	// Window is the per-link in-flight frame window: a sender holds one
 	// credit per unrouted frame and blocks (cancellably) when the window is
 	// exhausted; the receiver returns a credit as each frame is routed.
-	// Default 64.
+	// Chunked overlapped execution shifts the frame-size distribution toward
+	// many small frames, where a larger window keeps the pipe full (see
+	// dgcltrain/dgclworker -wire-window). Default DefaultWindow.
 	Window int
 	// IOTimeout bounds every mid-frame socket read and every frame write.
 	// Default 10s.
@@ -40,9 +42,13 @@ type Config struct {
 	MaxBody int
 }
 
+// DefaultWindow is the per-link credit window used when Config does not
+// choose one.
+const DefaultWindow = 64
+
 func (c Config) withDefaults() Config {
 	if c.Window <= 0 {
-		c.Window = 64
+		c.Window = DefaultWindow
 	}
 	if c.IOTimeout <= 0 {
 		c.IOTimeout = 10 * time.Second

@@ -70,14 +70,21 @@ type Cluster struct {
 	// identity mapping; a degraded cluster rebuilt over survivors sets it so
 	// crash schedules and down verdicts keep using the original numbering.
 	DeviceIDs []int
+	// Overlap configures chunked, pipelined execution of the compiled
+	// routing programs (overlap.go). The zero value keeps the serial
+	// executor and the unchunked layout.
+	Overlap OverlapConfig
 
 	// Compiled routing programs (program.go), built lazily on first use and
 	// reused by every subsequent collective. The backward program depends on
-	// the NonAtomic setting, so the value it was compiled for is recorded.
+	// the NonAtomic setting, and both depend on the chunking granularity, so
+	// the values they were compiled for are recorded.
 	progMu       sync.Mutex
 	fwdProg      *routingProgram
 	bwdProg      *routingProgram
 	bwdNonAtomic bool
+	fwdChunk     int
+	bwdChunk     int
 
 	// pool recycles transfer payloads and relay arenas across collectives
 	// (pool.go): steady-state epochs allocate O(1) per transfer instead of
@@ -356,6 +363,14 @@ func (c *Cluster) runForwardClient(ctx context.Context, d int, local *tensor.Mat
 		}
 		return arena.Row(int(-s - 1))
 	}
+	if c.Overlap.Enabled && !cp.serialOnly {
+		if err := c.runClientPipelined(ctx, d, cols, tp, cp, copies, rowOf, func(slots []int32, rows *tensor.Matrix) {
+			aggregateCopy(rowOf, slots, rows)
+		}); err != nil {
+			return nil, err
+		}
+		return full, nil
+	}
 	for _, cs := range cp.stages {
 		// Send phase: fill peer buffers and set done flags.
 		for _, snd := range cs.sends {
@@ -378,9 +393,7 @@ func (c *Cluster) runForwardClient(ctx context.Context, d int, local *tensor.Mat
 			if err != nil {
 				return nil, fmt.Errorf("runtime: GPU %d recv: %w", d, err)
 			}
-			for i, s := range rcv.slots {
-				copy(rowOf(s), msg.Rows.Row(i))
-			}
+			aggregateCopy(rowOf, rcv.slots, msg.Rows)
 			c.recycle(tp, msg)
 		}
 	}
@@ -461,6 +474,14 @@ func (c *Cluster) runBackwardClient(ctx context.Context, d int, gradFull *tensor
 		}
 		return arena.Row(int(-s - 1))
 	}
+	if c.Overlap.Enabled && !cp.serialOnly {
+		if err := c.runClientPipelined(ctx, d, cols, tp, cp, copies, rowOf, func(slots []int32, rows *tensor.Matrix) {
+			aggregateAdd(rowOf, slots, rows)
+		}); err != nil {
+			return nil, err
+		}
+		return own, nil
+	}
 	for _, cs := range cp.stages {
 		// Send first within a backward stage: tree edges at different depths
 		// land in different backward stages, so a stage's sends only carry
@@ -484,13 +505,7 @@ func (c *Cluster) runBackwardClient(ctx context.Context, d int, gradFull *tensor
 			if err != nil {
 				return nil, fmt.Errorf("runtime: GPU %d recv: %w", d, err)
 			}
-			for i, s := range rcv.slots {
-				src := msg.Rows.Row(i)
-				dst := rowOf(s)
-				for j, x := range src {
-					dst[j] += x
-				}
-			}
+			aggregateAdd(rowOf, rcv.slots, msg.Rows)
 			c.recycle(tp, msg)
 		}
 	}

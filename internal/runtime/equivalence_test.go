@@ -277,6 +277,14 @@ func TestCompiledBackwardMatchesLegacyBitwise(t *testing.T) {
 // and the final replica-0 model.
 func runSeededTraining(t *testing.T, seed int64, workers int) ([]float64, *gnn.Model) {
 	t.Helper()
+	return runSeededTrainingOverlap(t, seed, workers, OverlapConfig{})
+}
+
+// runSeededTrainingOverlap is runSeededTraining with an execution-policy
+// override: the overlapped-executor bit-identity battery (overlap_test.go)
+// reruns the same seeds under chunked, pipelined execution.
+func runSeededTrainingOverlap(t *testing.T, seed int64, workers int, ov OverlapConfig) ([]float64, *gnn.Model) {
+	t.Helper()
 	prev := tensor.SetParallelism(workers)
 	defer tensor.SetParallelism(prev)
 	ks := []int{2, 3, 4, 6, 8}
@@ -291,6 +299,7 @@ func runSeededTraining(t *testing.T, seed int64, workers int) ([]float64, *gnn.M
 		cols:    cols,
 	}
 	c, _ := buildCase(t, pc)
+	c.Overlap = ov
 	verts := pc.g.NumVertices()
 	model := gnn.NewModel(gnn.GCN, cols, cols/2, 2, seed)
 	features := tensor.New(verts, cols).FillRandom(seed + 1)

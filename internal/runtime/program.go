@@ -69,6 +69,13 @@ type clientProgram struct {
 	// programs set it to arenaRows: every forward arena row is fully
 	// overwritten by a receive before anything reads it.
 	zeroFrom int
+	// Pipeline hazard gates (overlap.go): sendDep[s]/aggDep[s] are the
+	// stages the sender/aggregator must respectively wait for before
+	// touching stage s; serialOnly forces the serial executor when the
+	// compiled dependencies would not pipeline safely.
+	sendDep    []int
+	aggDep     []int
+	serialOnly bool
 }
 
 // routingProgram is the compiled form of one collective direction: per-client
@@ -81,32 +88,34 @@ type routingProgram struct {
 }
 
 // forwardProgram returns the compiled forward program, compiling it on first
-// use.
+// use and recompiling when the chunking granularity changed (the chunked
+// layout determines the transport keys, so a stale program would desync from
+// peers compiled at the new granularity).
 func (c *Cluster) forwardProgram() (*routingProgram, error) {
 	c.progMu.Lock()
 	defer c.progMu.Unlock()
-	if c.fwdProg == nil {
+	if c.fwdProg == nil || c.fwdChunk != c.Overlap.chunkRows() {
 		p, err := c.compileForward()
 		if err != nil {
 			return nil, err
 		}
-		c.fwdProg = p
+		c.fwdProg, c.fwdChunk = p, c.Overlap.chunkRows()
 	}
 	return c.fwdProg, nil
 }
 
 // backwardProgram returns the compiled backward program for the cluster's
-// current NonAtomic setting, recompiling when the setting changed since the
-// last call.
+// current NonAtomic setting, recompiling when the setting or the chunking
+// granularity changed since the last call.
 func (c *Cluster) backwardProgram() (*routingProgram, error) {
 	c.progMu.Lock()
 	defer c.progMu.Unlock()
-	if c.bwdProg == nil || c.bwdNonAtomic != c.NonAtomic {
+	if c.bwdProg == nil || c.bwdNonAtomic != c.NonAtomic || c.bwdChunk != c.Overlap.chunkRows() {
 		p, err := c.compileBackward(c.NonAtomic)
 		if err != nil {
 			return nil, err
 		}
-		c.bwdProg, c.bwdNonAtomic = p, c.NonAtomic
+		c.bwdProg, c.bwdNonAtomic, c.bwdChunk = p, c.NonAtomic, c.Overlap.chunkRows()
 	}
 	return c.bwdProg, nil
 }
@@ -117,7 +126,7 @@ func (c *Cluster) backwardProgram() (*routingProgram, error) {
 // the legacy loop made per row ("GPU d lacks vertex v at stage s") moves to
 // compile time.
 func (c *Cluster) compileForward() (*routingProgram, error) {
-	stages := c.Plan.Stages
+	stages := chunkStages(c.Plan.Stages, c.Overlap.chunkRows())
 	prog := &routingProgram{clients: make([]clientProgram, c.K), stages: stages}
 	for d := 0; d < c.K; d++ {
 		lg := c.Locals[d]
@@ -163,6 +172,7 @@ func (c *Cluster) compileForward() (*routingProgram, error) {
 			}
 		}
 		cp.arenaRows, cp.zeroFrom = relay, relay
+		cp.computeDeps(lg.NumLocal + lg.NumRemote)
 	}
 	return prog, nil
 }
@@ -183,6 +193,7 @@ func (c *Cluster) compileBackward(nonAtomic bool) (*routingProgram, error) {
 		}
 		flat = append(flat, all)
 	}
+	flat = chunkStages(flat, c.Overlap.chunkRows())
 	prog := &routingProgram{clients: make([]clientProgram, c.K), stages: flat}
 	for d := 0; d < c.K; d++ {
 		lg := c.Locals[d]
@@ -225,6 +236,7 @@ func (c *Cluster) compileBackward(nonAtomic bool) (*routingProgram, error) {
 			}
 		}
 		cp.arenaRows, cp.zeroFrom = arenaRows, lg.NumRemote
+		cp.computeDeps(lg.NumLocal)
 	}
 	return prog, nil
 }

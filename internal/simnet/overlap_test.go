@@ -1,0 +1,139 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"dgcl/internal/comm"
+	"dgcl/internal/core"
+	"dgcl/internal/graph"
+	"dgcl/internal/partition"
+	"dgcl/internal/topology"
+)
+
+// relayPlan is a two-stage store-and-forward chain: 0 -> 3 over NV2, then
+// 3 -> 7 over NV1. Serially the stages sum; the overlapped executor can
+// forward rows as chunks land.
+func relayPlan(rows int) *core.Plan {
+	vs := make([]int32, rows)
+	p := core.NewPlan(8, 1024, "t")
+	p.Stages = [][]core.Transfer{
+		{{Src: 0, Dst: 3, Vertices: vs}},
+		{{Src: 3, Dst: 7, Vertices: vs}},
+	}
+	return p
+}
+
+func overlapNet(t *testing.T, o *OverlapModel) *Network {
+	t.Helper()
+	cfg := Config{Seed: 1, Jitter: 0, ContentionExponent: 1, LatencyScale: 0, AtomicFactor: 1, Overlap: o}
+	n, err := New(topology.DGX1(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestOverlapUnchunkedEqualsSerial(t *testing.T) {
+	// With no chunking (ChunkRows <= 0, or chunks larger than every
+	// transfer) the overlapped makespan is exactly the serial one.
+	p := relayPlan(1000)
+	serial, err := overlapNet(t, nil).RunPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []*OverlapModel{{ChunkRows: 0}, {ChunkRows: -1}, {ChunkRows: 1 << 20}} {
+		res, err := overlapNet(t, o).RunPlan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Time != serial.Time {
+			t.Fatalf("ChunkRows %d: overlapped %.6g != serial %.6g", o.ChunkRows, res.Time, serial.Time)
+		}
+	}
+}
+
+func TestOverlapPricesWormholePipeline(t *testing.T) {
+	// 1000 rows in chunks of 100: the slow stage (NV1) runs in full, the
+	// fast stage (NV2) contributes only one chunk's fill time.
+	p := relayPlan(1000)
+	res, err := overlapNet(t, &OverlapModel{ChunkRows: 100, Window: 4}).RunPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := 1024 * 1000 / topology.NV2.Bandwidth()
+	t2 := 1024 * 1000 / topology.NV1.Bandwidth()
+	want := t2 + t1/10
+	if math.Abs(res.Time-want)/want > 0.01 {
+		t.Fatalf("overlapped time %.6g want %.6g", res.Time, want)
+	}
+	// StageTimes still report the serial per-stage decomposition.
+	if len(res.StageTimes) != 2 {
+		t.Fatalf("stage times = %v", res.StageTimes)
+	}
+}
+
+func TestOverlapMonotoneInChunking(t *testing.T) {
+	p := relayPlan(1200)
+	prev := math.Inf(1)
+	for _, rows := range []int{1200, 600, 300, 100, 25} {
+		res, err := overlapNet(t, &OverlapModel{ChunkRows: rows}).RunPlan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Time > prev*(1+1e-12) {
+			t.Fatalf("ChunkRows %d: time %.6g above coarser chunking %.6g", rows, res.Time, prev)
+		}
+		prev = res.Time
+	}
+}
+
+func TestOverlapAppliesToRealPlanBothDirections(t *testing.T) {
+	// On a real multi-stage SPST plan the overlapped forward and backward
+	// times land between the bottleneck stage and the serial sum.
+	g := graph.CommunityGraph(1200, 20, 8, 0.8, 2)
+	part, err := partition.KWay(g, 8, partition.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := comm.Build(g, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, err := core.PlanSPST(rel, topology.DGX1(), 1024, core.SPSTOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(n *Network) (fwd, bwd float64) {
+		f, err := n.RunPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := n.RunBackward(plan, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Time, b.Time
+	}
+	sf, sb := run(overlapNet(t, nil))
+	of, ob := run(overlapNet(t, &OverlapModel{ChunkRows: 16, Window: 4}))
+	if of >= sf || ob >= sb {
+		t.Fatalf("overlap fwd %.6g / bwd %.6g not below serial %.6g / %.6g", of, ob, sf, sb)
+	}
+	maxStage := func(st []float64) float64 {
+		m := 0.0
+		for _, t := range st {
+			if t > m {
+				m = t
+			}
+		}
+		return m
+	}
+	f, err := overlapNet(t, &OverlapModel{ChunkRows: 16}).RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if of < maxStage(f.StageTimes) {
+		t.Fatalf("overlap fwd %.6g below bottleneck stage %.6g", of, maxStage(f.StageTimes))
+	}
+}

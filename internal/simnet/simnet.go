@@ -43,6 +43,25 @@ type Config struct {
 	// retry backoff latency, so experiments can quantify what a fault rate
 	// costs end to end.
 	Faults *FaultProfile
+	// Overlap, when non-nil, prices the runtime's chunked pipelined
+	// executor (DESIGN.md §16) instead of the serial stage-by-stage one.
+	// When nil, Result.Time is the serial sum of the stage times.
+	Overlap *OverlapModel
+}
+
+// OverlapModel describes the overlapped executor to the simulator. Chunking
+// turns the staged plan from store-and-forward into wormhole routing: a
+// relayed row can leave for stage s+1 as soon as its chunk lands in stage s,
+// so the epoch makespan collapses from the sum of the stage times to the
+// bottleneck stage plus every other stage's chunk fill time.
+type OverlapModel struct {
+	// ChunkRows is the transfer chunking granularity in rows; <= 0 means
+	// unchunked, which makes the overlapped makespan equal the serial one.
+	ChunkRows int
+	// Window is the in-flight stage window of the executor. It bounds
+	// buffering, not steady-state throughput, so it is not priced; it is
+	// carried here so reports can record the configuration they simulated.
+	Window int
 }
 
 // FaultProfile prices transport faults in virtual time. It mirrors the
@@ -407,22 +426,73 @@ func (n *Network) priceFaults(f *flow) int {
 	return extra
 }
 
+// stageChunks returns how many chunks the overlapped executor splits the
+// stage's largest transfer into (1 when overlap pricing is off).
+func stageChunks(stage []core.Transfer, o *OverlapModel) int {
+	if o == nil || o.ChunkRows <= 0 {
+		return 1
+	}
+	c := 1
+	for _, t := range stage {
+		if k := (len(t.Vertices) + o.ChunkRows - 1) / o.ChunkRows; k > c {
+			c = k
+		}
+	}
+	return c
+}
+
+// applyOverlap rewrites res.Time from the serial stage sum to the pipelined
+// makespan when Config.Overlap is set. First-order wormhole model: the
+// bottleneck stage's transfer runs in full, every other stage contributes
+// only its fill time (its transfer time divided by its chunk count), and
+// every stage still pays its boundary cost. xfer holds the pure per-stage
+// transfer times (boundary costs excluded); their boundary/flag overhead is
+// recovered as res.Time minus the transfer sum. With chunk counts of 1 the
+// rewrite is exact identity, so a disabled or unchunked model prices serial.
+func (n *Network) applyOverlap(res *Result, xfer []float64, chunks []int) {
+	if n.cfg.Overlap == nil || len(xfer) == 0 {
+		return
+	}
+	boundaries := res.Time
+	for _, t := range xfer {
+		boundaries -= t
+	}
+	bi := 0
+	for s, t := range xfer {
+		if t > xfer[bi] {
+			bi = s
+		}
+	}
+	t := xfer[bi]
+	for s, x := range xfer {
+		if s != bi {
+			t += x / float64(chunks[s])
+		}
+	}
+	res.Time = t + boundaries
+}
+
 // RunPlan simulates the forward graphAllgather of a staged plan and returns
 // the virtual-time result.
 func (n *Network) RunPlan(p *core.Plan) (*Result, error) {
 	res := &Result{}
+	var xfer []float64
+	var chunks []int
 	for _, stage := range p.Stages {
 		flows, err := n.planFlows(stage, p.BytesPerVertex, 1, res)
 		if err != nil {
 			return nil, err
 		}
 		t, nv, ot := n.simulateStage(flows)
+		xfer = append(xfer, t)
+		chunks = append(chunks, stageChunks(stage, n.cfg.Overlap))
 		t += n.stageBoundaryCost()
 		res.StageTimes = append(res.StageTimes, t)
 		res.Time += t
 		res.NVLinkTime += nv
 		res.OtherTime += ot
 	}
+	n.applyOverlap(res, xfer, chunks)
 	return res, nil
 }
 
@@ -439,6 +509,8 @@ func (n *Network) RunBackward(p *core.Plan, nonAtomic bool) (*Result, error) {
 	if !nonAtomic {
 		overhead = n.cfg.AtomicFactor
 	}
+	var xfer []float64
+	var chunks []int
 	for _, stage := range p.BackwardSchedule(nonAtomic) {
 		// Merge the stage's sub-stages into one concurrent flow set for
 		// timing; sub-stages cost one flag round each beyond the first.
@@ -451,6 +523,8 @@ func (n *Network) RunBackward(p *core.Plan, nonAtomic bool) (*Result, error) {
 			return nil, err
 		}
 		t, nv, ot := n.simulateStage(flows)
+		xfer = append(xfer, t)
+		chunks = append(chunks, stageChunks(all, n.cfg.Overlap))
 		t += n.stageBoundaryCost()
 		if nonAtomic && len(stage) > 1 {
 			t += float64(len(stage)-1) * decentralizedFlagCost * n.cfg.LatencyScale
@@ -460,6 +534,7 @@ func (n *Network) RunBackward(p *core.Plan, nonAtomic bool) (*Result, error) {
 		res.NVLinkTime += nv
 		res.OtherTime += ot
 	}
+	n.applyOverlap(res, xfer, chunks)
 	return res, nil
 }
 

@@ -59,6 +59,17 @@ type WorkerOptions struct {
 	// EpochTimeout bounds each epoch's collectives so a stalled peer
 	// surfaces as a fault instead of a hang. Default 2m.
 	EpochTimeout time.Duration
+	// OverlapOff disables the pipelined overlap executor locally. The
+	// spec's chunked layout still applies (it determines the wire transfer
+	// keys), so an overlap-off worker interoperates bit-identically with
+	// pipelined peers.
+	OverlapOff bool
+	// OverlapWindow overrides the in-flight stage window locally (0 keeps
+	// the default).
+	OverlapWindow int
+	// WireWindow overrides the spec's per-link credit window locally (0
+	// uses the spec's, then wire.DefaultWindow).
+	WireWindow int
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -311,6 +322,9 @@ func prepare(msg ctrlMsg, opts WorkerOptions) (*session, error) {
 			return nil, err
 		}
 	}
+	if opts.OverlapOff || opts.OverlapWindow > 0 {
+		sys.SetOverlapPolicy(opts.OverlapOff, opts.OverlapWindow)
+	}
 	alive := sys.AliveDevices()
 	compactOf := make(map[int]int, len(alive))
 	for i, id := range alive {
@@ -339,7 +353,7 @@ func prepare(msg ctrlMsg, opts WorkerOptions) (*session, error) {
 		model:    model,
 		features: features,
 		targets:  targets,
-		planSum:  wire.PlanDigest(sys.Plan()),
+		planSum:  wire.DigestWithChunking(wire.PlanDigest(sys.Plan()), sys.OverlapChunkRows()),
 		beat:     time.Duration(msg.Beat),
 		ln:       ln,
 	}
@@ -390,9 +404,14 @@ func (s *session) train(ctx context.Context, cc *ctrlConn, mesh ctrlMsg, opts Wo
 		return fmt.Errorf("worker: resume epoch %d is beyond the run's %d epochs", start, s.spec.Epochs)
 	}
 
+	window := s.spec.WireWindow
+	if opts.WireWindow > 0 {
+		window = opts.WireWindow
+	}
 	node := wire.NewNode(wire.Config{
 		ClusterID: fmt.Sprintf("%s#g%d", s.runID, s.gen),
 		PlanSum:   s.planSum,
+		Window:    window,
 	}, s.you, s.ln)
 	s.node = node
 	if err := node.Connect(ctx, mesh.Nodes); err != nil {

@@ -46,6 +46,17 @@ type Spec struct {
 	Epochs     int
 	Seed       int64
 	LR         float64
+	// ChunkRows is the overlap transfer-chunking granularity (0 means
+	// dgcl.DefaultChunkRows). It determines the wire-visible transfer keys,
+	// so it lives in the spec: every process of a run must compile the same
+	// chunked layout, and the wire plan digest folds it in so a mismatch is
+	// rejected at the handshake.
+	ChunkRows int
+	// WireWindow is the per-link credit window every worker's wire node
+	// uses (0 means wire.DefaultWindow). Purely a tuning knob — it cannot
+	// affect results — but distributing it through the spec keeps the whole
+	// run consistently tuned.
+	WireWindow int
 }
 
 func (s Spec) withDefaults() Spec {
@@ -101,7 +112,10 @@ func Build(spec Spec) (*dgcl.System, *dgcl.Model, *dgcl.Matrix, *dgcl.Matrix, er
 	if featDim <= 0 {
 		featDim = ds.FeatureDim
 	}
-	sys := dgcl.Init(topo, dgcl.Options{Seed: spec.Seed})
+	sys := dgcl.Init(topo, dgcl.Options{
+		Seed:    spec.Seed,
+		Overlap: dgcl.OverlapOptions{ChunkRows: spec.ChunkRows},
+	})
 	if err := sys.BuildCommInfo(g, featDim); err != nil {
 		return nil, nil, nil, nil, err
 	}
